@@ -1,0 +1,30 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper, printing the
+paper's published rows next to our measured rows and writing the rendered
+table to ``benchmarks/results/<name>.txt`` (so the output survives pytest's
+stdout capture).  Problem sizes default to *scaled-down* values so the whole
+suite runs in minutes; the paper's sizes are noted in each module.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def once(benchmark, fn: Callable):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def emit(name: str, text: str) -> str:
+    """Print a rendered table and persist it under ``benchmarks/results``."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    print("\n" + text)
+    return path

@@ -1,0 +1,102 @@
+"""Table 3: FindMisses vs cache simulation on the three kernels.
+
+Paper (32KB/32B, KN=JN=100, M=100, N=BJ=100 & BK=50):
+
+    Hydro  — identical miss counts for direct/2-way/4-way (err 0.00)
+    MGRID  — identical miss counts for direct/2-way/4-way (err 0.00)
+    MMT    — slight over-estimation (err 0.05 / 0.03 / 0.02)
+
+We run scaled sizes (FindMisses costs O(points × window) in pure Python)
+and check the same shape: exact agreement on Hydro/MGRID, conservative
+over-estimation on MMT.  Cache scaled with the problem (4KB/32B) so the
+kernels still miss.
+"""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import emit, once
+
+from repro import CacheConfig, analyze, prepare, run_simulation
+from repro.kernels import build_hydro, build_mgrid, build_mmt
+from repro.report import assoc_label, format_table
+
+PAPER_TABLE3 = [
+    # program, assoc, sim misses, find misses, sim %, find %, abs err
+    ("Hydro", 1, 52603, 52603, 14.12, 14.12, 0.00),
+    ("Hydro", 2, 52603, 52603, 14.12, 14.12, 0.00),
+    ("Hydro", 4, 42703, 42703, 11.47, 11.47, 0.00),
+    ("MGRID", 1, 1518879, 1518879, 9.49, 9.49, 0.00),
+    ("MGRID", 2, 1424038, 1424038, 8.90, 8.90, 0.00),
+    ("MGRID", 4, 1424038, 1424038, 8.90, 8.90, 0.00),
+    ("MMT", 1, 145671, 147075, 4.82, 4.87, 0.05),
+    ("MMT", 2, 171647, 172592, 5.68, 5.71, 0.03),
+    ("MMT", 4, 246980, 247744, 8.18, 8.20, 0.02),
+]
+
+SCALED = [
+    ("Hydro", lambda: build_hydro(32, 32), True),
+    ("MGRID", lambda: build_mgrid(12), True),
+    ("MMT", lambda: build_mmt(24, 24, 12), False),  # B/WB not uniformly generated
+]
+
+CACHE_KB = 4
+
+
+def compute_rows():
+    rows = []
+    exactness = []
+    for name, builder, expect_exact in SCALED:
+        prepared = prepare(builder())
+        for assoc in (1, 2, 4):
+            cache = CacheConfig.kb(CACHE_KB, 32, assoc)
+            analytic = analyze(prepared, cache, method="find")
+            simulated = run_simulation(prepared, cache)
+            err = abs(
+                analytic.miss_ratio_percent - simulated.miss_ratio_percent
+            )
+            rows.append(
+                (
+                    name,
+                    assoc_label(assoc),
+                    simulated.total_misses,
+                    int(analytic.total_misses),
+                    simulated.miss_ratio_percent,
+                    analytic.miss_ratio_percent,
+                    err,
+                    analytic.elapsed_seconds,
+                )
+            )
+            exactness.append(
+                (name, expect_exact, simulated.total_misses, analytic.total_misses)
+            )
+    return rows, exactness
+
+
+def test_table3_findmisses_vs_simulator(benchmark):
+    rows, exactness = once(benchmark, compute_rows)
+    paper = format_table(
+        ["Program", "Cache", "Sim #miss", "Find #miss", "Sim %", "Find %", "Abs.Err"],
+        [r[:7] for r in PAPER_TABLE3],
+        title="Table 3 — paper (32KB/32B, paper-scale sizes)",
+    )
+    measured = format_table(
+        [
+            "Program",
+            "Cache",
+            "Sim #miss",
+            "Find #miss",
+            "Sim %",
+            "Find %",
+            "Abs.Err",
+            "Find t(s)",
+        ],
+        rows,
+        title=f"Table 3 — measured ({CACHE_KB}KB/32B, scaled sizes)",
+    )
+    emit("table3", paper + "\n\n" + measured)
+    for name, expect_exact, sim_misses, find_misses in exactness:
+        if expect_exact:
+            assert find_misses == sim_misses, f"{name} should match exactly"
+        else:
+            assert find_misses >= sim_misses, f"{name} must be conservative"

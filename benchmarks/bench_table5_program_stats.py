@@ -1,0 +1,56 @@
+"""Table 5: whole-program statistics (#lines, #subroutines, #calls, #refs).
+
+The paper's rows describe the SPECfp95 originals; ours describe the
+structurally faithful miniatures (DESIGN.md §3).  The checked shape:
+Tomcatv-class is a single call-free routine, Swim-class has a handful of
+subroutines with parameterless calls, Applu-class has the most subroutines
+and call statements.
+"""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import emit, once
+
+from repro import program_stats
+from repro.programs import build_applu_like, build_swim_like, build_tomcatv_like
+from repro.report import format_table
+
+PAPER_TABLE5 = [
+    ("Tomcatv", 190, 1, 0, 79),
+    ("Swim", 429, 6, 6, 52),
+    ("Applu", 3868, 16, 27, 2565),
+]
+
+
+def compute_rows():
+    programs = [
+        build_tomcatv_like(64, 2),
+        build_swim_like(64, 2),
+        build_applu_like(32, 2),
+    ]
+    return [program_stats(p).as_row() for p in programs]
+
+
+def test_table5_program_stats(benchmark):
+    rows = once(benchmark, compute_rows)
+    paper = format_table(
+        ["Program", "#lines", "#subroutines", "#calls", "#references"],
+        PAPER_TABLE5,
+        title="Table 5 — paper (SPECfp95 originals)",
+    )
+    measured = format_table(
+        ["Program", "#lines", "#subroutines", "#calls", "#references"],
+        rows,
+        title="Table 5 — measured (structural miniatures)",
+    )
+    emit("table5", paper + "\n\n" + measured)
+    by_name = {r[0]: r for r in rows}
+    tomcatv = by_name["TOMCATV-LIKE"]
+    swim = by_name["SWIM-LIKE"]
+    applu = by_name["APPLU-LIKE"]
+    # Shape of the paper's table:
+    assert tomcatv[2] == 1 and tomcatv[3] == 0  # single routine, no calls
+    assert swim[2] > 1 and swim[3] > 0  # several routines with calls
+    assert applu[2] > swim[2]  # Applu-class has the most subroutines
+    assert applu[3] > swim[3]  # ... and the most call statements

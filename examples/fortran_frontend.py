@@ -1,0 +1,58 @@
+"""Analysing FORTRAN source directly — the paper's input language.
+
+Parses a mini-FORTRAN transcription of the Hydro kernel (Fig. 8) with the
+bundled frontend, then runs the whole pipeline on it.  Any ``.f`` file in
+the supported subset works the same way (see also ``repro-cache analyze
+path/to/file.f``).
+
+Run:  python examples/fortran_frontend.py
+"""
+
+from repro import CacheConfig, analyze, prepare, run_simulation
+from repro.frontend import parse_program
+
+SOURCE = """
+C     Hydro fragment (Livermore kernel 18), scaled to 32x32
+      PROGRAM HYDRO
+      PARAMETER (JN=32, KN=32)
+      REAL*8 ZA, ZB, ZP, ZQ, ZR, ZM, ZU, ZZ
+      DIMENSION ZA(JN+1,KN+1), ZB(JN+1,KN+1), ZP(JN+1,KN+1)
+      DIMENSION ZQ(JN+1,KN+1), ZR(JN+1,KN+1), ZM(JN+1,KN+1)
+      DIMENSION ZU(JN+1,KN+1), ZZ(JN+1,KN+1)
+      DO K = 2, KN
+        DO J = 2, JN
+          ZA(J,K) = (ZP(J-1,K+1) + ZQ(J-1,K+1) - ZP(J-1,K) - ZQ(J-1,K))
+     &      * (ZR(J,K) + ZR(J-1,K)) / (ZM(J-1,K) + ZM(J-1,K+1))
+          ZB(J,K) = (ZP(J-1,K) + ZQ(J-1,K) - ZP(J,K) - ZQ(J,K))
+     &      * (ZR(J,K) + ZR(J,K-1)) / (ZM(J,K) + ZM(J-1,K))
+        ENDDO
+      ENDDO
+      DO K = 2, KN
+        DO J = 2, JN
+          ZU(J,K) = ZU(J,K) + ZA(J,K)*(ZZ(J,K) - ZZ(J+1,K))
+     &      - ZA(J-1,K)*ZZ(J-1,K) - ZB(J,K)*ZZ(J,K-1)
+     &      + ZB(J,K+1)*ZZ(J,K+1)
+        ENDDO
+      ENDDO
+      END
+"""
+
+
+def main() -> None:
+    program = parse_program(SOURCE)
+    prepared = prepare(program)
+    print(f"Parsed {program.name}: {len(prepared.nprog.refs)} references in "
+          f"{len(prepared.nprog.roots)} normalised nests")
+
+    for assoc in (1, 2):
+        cache = CacheConfig.kb(4, 32, assoc)
+        exact = analyze(prepared, cache, method="find")
+        ground = run_simulation(prepared, cache)
+        print(f"{cache.describe():>16}: FindMisses "
+              f"{exact.miss_ratio_percent:5.2f}%  simulator "
+              f"{ground.miss_ratio_percent:5.2f}%  "
+              f"(abs err {abs(exact.miss_ratio_percent - ground.miss_ratio_percent):.2f}pp)")
+
+
+if __name__ == "__main__":
+    main()

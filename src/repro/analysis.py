@@ -1,0 +1,153 @@
+"""High-level façade: prepare once, then analyse or simulate.
+
+This module wires the full pipeline of Fig. 7 together:
+
+    Program  ──inline──► flat body ──normalise──► loop tree
+             ──layout──► base addresses ──walker──► access order
+             ──reuse──► vectors ──CME──► FindMisses / EstimateMisses
+                                  └────► cache simulator (validation)
+
+Typical use::
+
+    from repro import CacheConfig, analyze, prepare, run_simulation
+    prepared = prepare(program)
+    cache = CacheConfig.kb(32, 32, assoc=2)
+    report = analyze(prepared, cache)                 # EstimateMisses
+    exact = analyze(prepared, cache, method="find")   # FindMisses
+    sim = run_simulation(prepared, cache)             # LRU simulator
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Union
+
+from repro.ir.nodes import Program
+from repro.ir.stats import ProgramStats, program_stats
+from repro.inline.abstract_inline import InlineResult, inline_program
+from repro.layout.cache import CacheConfig
+from repro.layout.memory import MemoryLayout, layout_for_refs
+from repro.normalize.nprogram import NormalizedProgram
+from repro.normalize.pipeline import normalize
+from repro.iteration.walker import Walker
+from repro.reuse.generator import ReuseOptions, ReuseTable, build_reuse_table
+from repro.cme.estimate import estimate_misses
+from repro.cme.find import find_misses
+from repro.cme.result import MissReport
+from repro.sim.simulator import SimReport, simulate
+
+
+@dataclass
+class PreparedProgram:
+    """A program taken through inlining, normalisation and layout.
+
+    Reuse tables and the compiled walker are cached so that sweeping cache
+    configurations (the paper's direct/2-way/4-way columns) re-uses all the
+    front-end work.
+    """
+
+    program: Program
+    inline_result: InlineResult
+    nprog: NormalizedProgram
+    layout: MemoryLayout
+    walker: Walker
+    _reuse_cache: dict = field(default_factory=dict, repr=False)
+
+    def reuse_table(
+        self, line_bytes: int, options: Optional[ReuseOptions] = None
+    ) -> ReuseTable:
+        """The reuse table for a given line size (cached)."""
+        key = (line_bytes, options)
+        table = self._reuse_cache.get(key)
+        if table is None:
+            table = build_reuse_table(self.nprog, line_bytes, options)
+            self._reuse_cache[key] = table
+        return table
+
+    def stats(self) -> ProgramStats:
+        """Table 5 statistics of the source program."""
+        return program_stats(self.program)
+
+
+def prepare(
+    program: Program,
+    entry: Optional[str] = None,
+    align: int = 32,
+    pad_bytes: Union[int, Mapping[str, int]] = 0,
+    model_stack: bool = False,
+    on_non_analysable: str = "raise",
+) -> PreparedProgram:
+    """Run the front half of the pipeline (inline, normalise, lay out).
+
+    ``align``/``pad_bytes`` control the memory layout — padding exploration
+    is one of the paper's motivating applications.
+    """
+    inlined = inline_program(
+        program,
+        entry=entry,
+        on_non_analysable=on_non_analysable,
+        model_stack=model_stack,
+    )
+    nprog = normalize(inlined.flat, name=program.name)
+    declared = list(program.all_arrays())
+    if inlined.stack_array is not None:
+        declared.append(inlined.stack_array)
+    layout = layout_for_refs(
+        nprog.refs, declared_order=declared, align=align, pad_bytes=pad_bytes
+    )
+    walker = Walker(nprog, layout)
+    return PreparedProgram(program, inlined, nprog, layout, walker)
+
+
+def _as_prepared(target: Union[Program, PreparedProgram]) -> PreparedProgram:
+    if isinstance(target, PreparedProgram):
+        return target
+    return prepare(target)
+
+
+def analyze(
+    target: Union[Program, PreparedProgram],
+    cache: CacheConfig,
+    method: str = "estimate",
+    confidence: float = 0.95,
+    width: float = 0.05,
+    seed: int = 0,
+    reuse_options: Optional[ReuseOptions] = None,
+) -> MissReport:
+    """Predict the cache behaviour analytically.
+
+    ``method`` selects between the two solvers of Fig. 6: ``"estimate"``
+    (statistical sampling at the paper's default c = 95%, w = 0.05) and
+    ``"find"`` (exhaustive, exact when reuse information is complete).
+    """
+    prepared = _as_prepared(target)
+    reuse = prepared.reuse_table(cache.line_bytes, reuse_options)
+    if method == "find":
+        return find_misses(
+            prepared.nprog,
+            prepared.layout,
+            cache,
+            reuse=reuse,
+            walker=prepared.walker,
+        )
+    if method == "estimate":
+        return estimate_misses(
+            prepared.nprog,
+            prepared.layout,
+            cache,
+            confidence=confidence,
+            width=width,
+            reuse=reuse,
+            walker=prepared.walker,
+            rng=random.Random(seed),
+        )
+    raise ValueError(f"unknown method {method!r}; use 'find' or 'estimate'")
+
+
+def run_simulation(
+    target: Union[Program, PreparedProgram], cache: CacheConfig
+) -> SimReport:
+    """Run the trace-driven LRU cache simulator on the whole program."""
+    prepared = _as_prepared(target)
+    return simulate(prepared.nprog, prepared.layout, cache, walker=prepared.walker)

@@ -1,0 +1,5 @@
+"""Baseline estimators the paper compares against (Section 7, Table 7)."""
+
+from repro.baselines.probabilistic import ProbabilisticReport, probabilistic_misses
+
+__all__ = ["ProbabilisticReport", "probabilistic_misses"]

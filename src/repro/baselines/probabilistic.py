@@ -1,0 +1,194 @@
+"""A Fraguela-style probabilistic miss estimator (the Table 7 comparator).
+
+The paper compares ``EstimateMisses`` against Fraguela, Doallo & Zapata's
+probabilistic analytical method (PACT'99) on the MMT kernel over sixteen
+cache configurations (Table 7).  That method never examines individual
+iteration points: it models, per reference, the probability that the
+accessed line survives its reuse window, using *footprints* (how many
+distinct lines competing references touch in the window) and a uniform
+set-mapping assumption.
+
+This module implements an independent estimator in the same spirit:
+
+* the reuse fraction along a reference's nearest reuse vector is computed
+  exactly (a polyhedral count of the shifted-RIS intersection), the
+  remainder being cold;
+* the interference footprint of the window is estimated per intervening
+  reference from its stride pattern (``lines ≈ iterations × min(1,
+  stride/Ls)``), *not* by enumeration;
+* the line is assumed to land in a uniformly random set, so eviction
+  probability is ``P(Binomial(F, 1/num_sets) ≥ k)``.
+
+Like the original, it is very fast and reasonably accurate for friendly
+strides, but its footprint approximation degrades as the line size grows —
+the qualitative behaviour Table 7 exhibits (Δ_P up to ~44% at Ls = 32).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from scipy.stats import binom
+
+from repro.layout.cache import CacheConfig
+from repro.layout.memory import MemoryLayout
+from repro.normalize.nprogram import NormalizedProgram, NRef
+from repro.polyhedra.affine import Var
+from repro.polyhedra.space import BoundedSpace
+from repro.reuse.generator import ReuseTable, build_reuse_table
+from repro.reuse.ugs import linear_part
+from repro.reuse.vectors import ReuseVector
+
+
+@dataclass
+class ProbabilisticReport:
+    """Aggregate result of the probabilistic estimator."""
+
+    cache: CacheConfig
+    ref_ratios: dict[int, float] = field(default_factory=dict)
+    populations: dict[int, float] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def total_accesses(self) -> float:
+        """Total modelled accesses."""
+        return sum(self.populations.values())
+
+    @property
+    def miss_ratio(self) -> float:
+        """Population-weighted miss ratio in [0, 1]."""
+        total = self.total_accesses
+        if not total:
+            return 0.0
+        weighted = sum(
+            self.ref_ratios[uid] * self.populations[uid]
+            for uid in self.ref_ratios
+        )
+        return weighted / total
+
+    @property
+    def miss_ratio_percent(self) -> float:
+        """Miss ratio as a percentage."""
+        return 100.0 * self.miss_ratio
+
+
+def _reuse_fraction(
+    nprog: NormalizedProgram, ref: NRef, rv: ReuseVector
+) -> float:
+    """Exact fraction of consumer points whose producer point is in its RIS."""
+    consumer_ris = nprog.ris(ref.leaf)
+    total = consumer_ris.count()
+    if total == 0:
+        return 0.0
+    x = rv.index_part()
+    producer_ris = nprog.ris(rv.producer.leaf)
+    # Shift the producer's bounds/guard by x: constraints on (I - x).
+    shift = {
+        var: Var(var) - dx for var, dx in zip(nprog.index_vars, x)
+    }
+    guard = consumer_ris.guard
+    for d, (lo, hi) in enumerate(producer_ris.bounds):
+        var = nprog.index_vars[d]
+        shifted_var = shift[var]
+        guard = guard.conjoin(shifted_var.ge(lo.substitute(shift)))
+        guard = guard.conjoin(shifted_var.le(hi.substitute(shift)))
+    guard = guard.conjoin(producer_ris.guard.substitute(shift))
+    both = BoundedSpace(consumer_ris.dims, consumer_ris.bounds, guard)
+    return both.count() / total
+
+
+def _window_iterations(
+    rv: ReuseVector, extents: list[int]
+) -> int:
+    """Approximate number of iteration points spanned by a reuse vector."""
+    x = rv.index_part()
+    labels = rv.label_part()
+    n = len(x)
+    span = 0
+    for d in range(n):
+        deeper = 1
+        for e in range(d + 1, n):
+            deeper *= max(1, extents[e])
+        span += abs(x[d]) * deeper
+        if labels[d]:
+            # crossing to another nest at depth d re-runs deeper iterations
+            span += deeper
+    return max(1, span)
+
+
+def _lines_per_iteration(
+    ref: NRef, depth: int, line_bytes: int
+) -> float:
+    """Estimated distinct memory lines one reference touches per iteration."""
+    m = linear_part(ref, depth)
+    strides = ref.array.strides()
+    esize = ref.array.element_size
+    # stride of the fastest-varying (deepest) index with a non-zero coefficient
+    for d in range(depth - 1, -1, -1):
+        step_elems = sum(strides[dim] * m[dim][d] for dim in range(len(m)))
+        if step_elems:
+            return min(1.0, abs(step_elems) * esize / line_bytes)
+    return 1.0 / max(1, line_bytes // esize)
+
+
+def _depth_extents(nprog: NormalizedProgram) -> list[int]:
+    extents = [1] * nprog.depth
+    for leaf in nprog.leaves:
+        ranges = nprog.ris(leaf).var_ranges()
+        for d, var in enumerate(nprog.index_vars):
+            lo, hi = ranges[var]
+            extents[d] = max(extents[d], hi - lo + 1)
+    return extents
+
+
+def probabilistic_misses(
+    nprog: NormalizedProgram,
+    layout: MemoryLayout,
+    cache: CacheConfig,
+    reuse: ReuseTable | None = None,
+) -> ProbabilisticReport:
+    """Estimate the program miss ratio without examining iteration points."""
+    started = time.perf_counter()
+    if reuse is None:
+        reuse = build_reuse_table(nprog, cache.line_bytes)
+    extents = _depth_extents(nprog)
+    num_sets = cache.num_sets
+    k = cache.assoc
+    report = ProbabilisticReport(cache)
+    lines_rate = {
+        r.uid: _lines_per_iteration(r, nprog.depth, cache.line_bytes)
+        for r in nprog.refs
+    }
+    population = {r.uid: nprog.ris(r.leaf).count() for r in nprog.refs}
+    for ref in nprog.refs:
+        vectors = reuse.vectors_for(ref)
+        if not vectors or population[ref.uid] == 0:
+            report.ref_ratios[ref.uid] = 1.0
+            report.populations[ref.uid] = population[ref.uid]
+            continue
+        # The nearest vector dominates, but a thin group vector (e.g. a
+        # diagonal producer) may cover few points — scan a handful and use
+        # the best coverage, with the window of the first covering vector.
+        rv = vectors[0]
+        f_reuse = 0.0
+        for candidate in vectors[:5]:
+            f = _reuse_fraction(nprog, ref, candidate)
+            if f > f_reuse:
+                f_reuse = f
+                rv = candidate
+            if f_reuse > 0.999:
+                break
+        window = _window_iterations(rv, extents)
+        # Footprint: distinct lines the other references push through the
+        # cache inside the window, assuming they are active in it.
+        footprint = 0.0
+        for other in nprog.refs:
+            if population[other.uid]:
+                footprint += window * lines_rate[other.uid]
+        p_conflict = min(1.0, 1.0 / num_sets)
+        p_evict = float(binom.sf(k - 1, max(1, round(footprint)), p_conflict))
+        report.ref_ratios[ref.uid] = (1.0 - f_reuse) + f_reuse * p_evict
+        report.populations[ref.uid] = population[ref.uid]
+    report.elapsed_seconds = time.perf_counter() - started
+    return report

@@ -1,0 +1,194 @@
+"""Command-line interface: analyse, simulate and compare workloads.
+
+Examples::
+
+    repro-cache analyze hydro --cache 32:32:2 --size 64
+    repro-cache compare mmt --cache 8:32:1 --size 32
+    repro-cache simulate path/to/kernel.f --cache 32:32:4
+    repro-cache stats applu
+
+Cache specifications are ``SIZE_KB:LINE_BYTES:ASSOC``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.analysis import analyze, prepare, run_simulation
+from repro.inline import classify_program
+from repro.ir import Program, program_stats
+from repro.layout import CacheConfig
+from repro.report import format_table
+
+
+def _parse_cache(spec: str) -> CacheConfig:
+    try:
+        size_kb, line, assoc = (int(p) for p in spec.split(":"))
+    except ValueError:
+        raise SystemExit(
+            f"bad cache spec {spec!r}: expected SIZE_KB:LINE_BYTES:ASSOC"
+        )
+    return CacheConfig(size_kb * 1024, line, assoc)
+
+
+def _load_workload(name: str, size: Optional[int], steps: int) -> Program:
+    from repro.kernels import build_hydro, build_mgrid, build_mmt
+    from repro.programs import (
+        build_applu_like,
+        build_swim_like,
+        build_tomcatv_like,
+    )
+
+    builders = {
+        "hydro": lambda: build_hydro(size or 64, size or 64),
+        "mgrid": lambda: build_mgrid(size or 20),
+        "mmt": lambda: build_mmt(size or 48, (size or 48) // 2, (size or 48) // 4),
+        "tomcatv": lambda: build_tomcatv_like(size or 48, steps),
+        "swim": lambda: build_swim_like(size or 48, steps),
+        "applu": lambda: build_applu_like(size or 24, steps),
+    }
+    if name in builders:
+        return builders[name]()
+    if name.endswith(".f"):
+        from repro.frontend import parse_program
+
+        with open(name) as fh:
+            return parse_program(fh.read())
+    raise SystemExit(
+        f"unknown workload {name!r}: use one of {sorted(builders)} or a .f file"
+    )
+
+
+def _add_workload_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("workload", help="builtin name (hydro, mmt, swim, ...) or .f file")
+    sub.add_argument("--size", type=int, default=None, help="problem size")
+    sub.add_argument("--steps", type=int, default=2, help="time steps (programs)")
+    sub.add_argument(
+        "--cache", default="32:32:1", help="cache spec SIZE_KB:LINE_BYTES:ASSOC"
+    )
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Entry point for the ``repro-cache`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="repro-cache",
+        description="Analytical whole-program cache behaviour prediction "
+        "(Vera & Xue, HPCA 2002 reproduction)",
+    )
+    subs = parser.add_subparsers(dest="command", required=True)
+
+    p_analyze = subs.add_parser("analyze", help="analytical miss prediction")
+    _add_workload_args(p_analyze)
+    p_analyze.add_argument(
+        "--method", choices=["estimate", "find"], default="estimate"
+    )
+    p_analyze.add_argument("--confidence", type=float, default=0.95)
+    p_analyze.add_argument("--width", type=float, default=0.05)
+    p_analyze.add_argument("--seed", type=int, default=0)
+
+    p_sim = subs.add_parser("simulate", help="trace-driven LRU simulation")
+    _add_workload_args(p_sim)
+
+    p_cmp = subs.add_parser("compare", help="analytical vs simulated, side by side")
+    _add_workload_args(p_cmp)
+    p_cmp.add_argument(
+        "--method", choices=["estimate", "find"], default="estimate"
+    )
+
+    p_stats = subs.add_parser("stats", help="Table 5 / Table 2 style statistics")
+    p_stats.add_argument("workload")
+    p_stats.add_argument("--size", type=int, default=None)
+    p_stats.add_argument("--steps", type=int, default=2)
+
+    args = parser.parse_args(argv)
+    program = _load_workload(args.workload, args.size, getattr(args, "steps", 2))
+
+    if args.command == "stats":
+        st = program_stats(program)
+        cs = classify_program(program)
+        print(
+            format_table(
+                ["#lines", "#subroutines", "#calls", "#references"],
+                [(st.lines, st.subroutines, st.call_statements, st.references)],
+                title=f"{program.name} — program statistics (Table 5 columns)",
+            )
+        )
+        print()
+        print(
+            format_table(
+                ["P-able", "R-able", "N-able", "Calls", "A-able"],
+                [(cs.p_able, cs.r_able, cs.n_able, cs.calls_total, cs.calls_analysable)],
+                title="Actual-parameter classification (Table 2 columns)",
+            )
+        )
+        return 0
+
+    cache = _parse_cache(args.cache)
+    prepared = prepare(program)
+
+    if args.command == "analyze":
+        report = analyze(
+            prepared,
+            cache,
+            method=args.method,
+            confidence=args.confidence,
+            width=args.width,
+            seed=args.seed,
+        )
+        print(
+            f"{program.name} on {cache.describe()}: "
+            f"miss ratio {report.miss_ratio_percent:.2f}% "
+            f"({report.total_misses:.0f} of {report.total_accesses} accesses, "
+            f"{report.method}, {report.elapsed_seconds:.2f}s, "
+            f"{report.analysed_points} points analysed)"
+        )
+        rows = [
+            (r.ref_name, r.population, f"{100 * r.miss_ratio:.2f}")
+            for r in report.worst_refs(8)
+        ]
+        print()
+        print(format_table(["Reference", "Accesses", "Miss %"], rows,
+                           title="Worst references"))
+        return 0
+
+    if args.command == "simulate":
+        report = run_simulation(prepared, cache)
+        print(
+            f"{program.name} on {cache.describe()}: "
+            f"miss ratio {report.miss_ratio_percent:.2f}% "
+            f"({report.total_misses} of {report.total_accesses} accesses, "
+            f"{report.elapsed_seconds:.2f}s)"
+        )
+        return 0
+
+    # compare
+    analytic = analyze(prepared, cache, method=args.method)
+    simulated = run_simulation(prepared, cache)
+    err = abs(analytic.miss_ratio_percent - simulated.miss_ratio_percent)
+    print(
+        format_table(
+            ["", "Miss %", "#misses", "Time (s)"],
+            [
+                (
+                    analytic.method,
+                    analytic.miss_ratio_percent,
+                    int(analytic.total_misses),
+                    analytic.elapsed_seconds,
+                ),
+                (
+                    "Simulator",
+                    simulated.miss_ratio_percent,
+                    simulated.total_misses,
+                    simulated.elapsed_seconds,
+                ),
+            ],
+            title=f"{program.name} on {cache.describe()} (abs. error {err:.2f}pp)",
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""Cache Miss Equations: forming and solving (Section 4 of the paper)."""
+
+from repro.cme.point import Classification, Outcome, PointClassifier
+from repro.cme.result import MissReport, RefResult, compare_reports
+from repro.cme.find import find_misses
+from repro.cme.estimate import estimate_misses
+
+__all__ = [
+    "Classification",
+    "Outcome",
+    "PointClassifier",
+    "MissReport",
+    "RefResult",
+    "compare_reports",
+    "find_misses",
+    "estimate_misses",
+]

@@ -1,0 +1,127 @@
+"""Result containers for the miss-equation solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.layout.cache import CacheConfig
+from repro.normalize.nprogram import NRef
+
+
+@dataclass
+class RefResult:
+    """Per-reference outcome tallies.
+
+    ``analysed`` is the number of classified points (all of the RIS for
+    ``FindMisses``, the sample size for ``EstimateMisses``); ``population``
+    is the RIS volume the tallies are scaled to.
+    """
+
+    ref_name: str
+    ref_uid: int
+    population: int
+    analysed: int = 0
+    cold: int = 0
+    replacement: int = 0
+    hits: int = 0
+
+    @property
+    def misses(self) -> int:
+        """Misses among the analysed points."""
+        return self.cold + self.replacement
+
+    @property
+    def miss_ratio(self) -> float:
+        """``(|CM_R| + |RM_R|) / |S(R)|`` (Fig. 6)."""
+        return self.misses / self.analysed if self.analysed else 0.0
+
+    @property
+    def estimated_misses(self) -> float:
+        """Miss count scaled from the sample to the full RIS.
+
+        Exact (an int-valued float) when the whole RIS was analysed.
+        """
+        if self.analysed == self.population:
+            return float(self.misses)
+        return self.miss_ratio * self.population
+
+
+@dataclass
+class MissReport:
+    """Aggregate analysis outcome for a program."""
+
+    method: str
+    cache: CacheConfig
+    results: dict[int, RefResult] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    def result_for(self, ref: NRef) -> RefResult:
+        """The per-reference result of ``ref``."""
+        return self.results[ref.uid]
+
+    @property
+    def total_accesses(self) -> int:
+        """Total population (the full trace length)."""
+        return sum(r.population for r in self.results.values())
+
+    @property
+    def total_misses(self) -> float:
+        """Estimated total misses (exact for ``FindMisses``)."""
+        return sum(r.estimated_misses for r in self.results.values())
+
+    @property
+    def analysed_points(self) -> int:
+        """Number of points actually classified."""
+        return sum(r.analysed for r in self.results.values())
+
+    @property
+    def miss_ratio(self) -> float:
+        """The loop-nest miss ratio of Fig. 6 (population weighted)."""
+        total = self.total_accesses
+        return self.total_misses / total if total else 0.0
+
+    @property
+    def miss_ratio_percent(self) -> float:
+        """Miss ratio as a percentage (the paper's unit)."""
+        return 100.0 * self.miss_ratio
+
+    def breakdown(self) -> dict[str, float]:
+        """Cold/replacement/hit totals scaled to populations."""
+        cold = replacement = hits = 0.0
+        for r in self.results.values():
+            if r.analysed:
+                scale = r.population / r.analysed
+                cold += r.cold * scale
+                replacement += r.replacement * scale
+                hits += r.hits * scale
+        return {"cold": cold, "replacement": replacement, "hits": hits}
+
+    def worst_refs(self, limit: int = 10) -> list[RefResult]:
+        """References ordered by estimated miss count, worst first."""
+        ordered = sorted(
+            self.results.values(), key=lambda r: r.estimated_misses, reverse=True
+        )
+        return ordered[:limit]
+
+
+def compare_reports(analytical: MissReport, simulated) -> dict[str, float]:
+    """Paper-style comparison record: miss ratios and the absolute error.
+
+    ``simulated`` is a :class:`~repro.sim.SimReport`; the returned absolute
+    error is in percentage points (the paper's "Abs. Error" columns).
+    """
+    return {
+        "analytical_percent": analytical.miss_ratio_percent,
+        "simulated_percent": simulated.miss_ratio_percent,
+        "abs_error": abs(
+            analytical.miss_ratio_percent - simulated.miss_ratio_percent
+        ),
+        "analysis_seconds": analytical.elapsed_seconds,
+        "simulation_seconds": simulated.elapsed_seconds,
+        "speedup": (
+            simulated.elapsed_seconds / analytical.elapsed_seconds
+            if analytical.elapsed_seconds > 0
+            else float("inf")
+        ),
+    }

@@ -1,0 +1,24 @@
+"""Mini-FORTRAN frontend: lexer, parser and lowering to the IR.
+
+Replaces the Polaris-IR front end of the paper's prototype (Fig. 7) for the
+FORTRAN-77 subset the program model admits.  Typical use::
+
+    from repro.frontend import parse_program
+    program = parse_program(open("hydro.f").read())
+"""
+
+from repro.frontend.ast_nodes import SourceFile, Unit
+from repro.frontend.lexer import Token, tokenize
+from repro.frontend.lowering import lower_source, parse_program
+from repro.frontend.parser import Parser, parse_source
+
+__all__ = [
+    "SourceFile",
+    "Unit",
+    "Token",
+    "tokenize",
+    "lower_source",
+    "parse_program",
+    "Parser",
+    "parse_source",
+]

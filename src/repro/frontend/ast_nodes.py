@@ -1,0 +1,142 @@
+"""AST for the mini-FORTRAN frontend (syntax only; lowering builds the IR)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+
+# -- expressions -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Num:
+    """An integer or real literal (reals only appear as data, never in
+    subscripts/bounds of analysable programs)."""
+
+    text: str
+
+    @property
+    def is_int(self) -> bool:
+        return self.text.isdigit() or (
+            self.text.startswith("-") and self.text[1:].isdigit()
+        )
+
+    def int_value(self) -> int:
+        return int(self.text)
+
+
+@dataclass(frozen=True)
+class Ident:
+    """A bare identifier: scalar, parameter or array name."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Apply:
+    """``NAME(args…)``: an array element or an intrinsic call."""
+
+    name: str
+    args: tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """A binary operation (arithmetic, relational or logical)."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class UnOp:
+    """Unary minus / plus / .NOT."""
+
+    op: str
+    operand: "Expr"
+
+
+Expr = Union[Num, Ident, Apply, BinOp, UnOp]
+
+
+# -- statements --------------------------------------------------------------------
+
+
+@dataclass
+class Assign:
+    """``lhs = rhs``; lhs is an Ident (scalar) or Apply (array element)."""
+
+    lhs: Expr
+    rhs: Expr
+    line: int
+
+
+@dataclass
+class DoLoop:
+    """``DO [label] var = lo, hi [, step]``."""
+
+    var: str
+    lower: Expr
+    upper: Expr
+    step: Optional[Expr]
+    body: list["Stmt"] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class IfBlock:
+    """``IF (cond) THEN … ENDIF`` or the one-line form."""
+
+    cond: Expr
+    body: list["Stmt"] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class CallStmt:
+    """``CALL name(args…)``."""
+
+    name: str
+    args: list[Expr] = field(default_factory=list)
+    line: int = 0
+
+
+Stmt = Union[Assign, DoLoop, IfBlock, CallStmt]
+
+
+# -- declarations & units -----------------------------------------------------------
+
+
+@dataclass
+class ArrayDecl:
+    """``DIMENSION name(d1, …, dk)`` (``*`` allowed last)."""
+
+    name: str
+    dims: list[Optional[Expr]]  # None = assumed size '*'
+
+
+@dataclass
+class Unit:
+    """One program unit: the PROGRAM or a SUBROUTINE."""
+
+    kind: str  # "PROGRAM" | "SUBROUTINE"
+    name: str
+    formals: list[str] = field(default_factory=list)
+    array_decls: dict[str, ArrayDecl] = field(default_factory=dict)
+    parameters: dict[str, int] = field(default_factory=dict)
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class SourceFile:
+    """All units of one source file (first PROGRAM unit is the entry)."""
+
+    units: list[Unit] = field(default_factory=list)
+
+    def unit(self, name: str) -> Unit:
+        for u in self.units:
+            if u.name == name:
+                return u
+        raise KeyError(name)

@@ -1,0 +1,194 @@
+"""Lexer for the FORTRAN-77 subset of the paper's program model.
+
+Accepts both fixed-form conventions (comment letter in column 1,
+continuation marker in column 6) and lightly free-form code (``!``
+comments, ``&`` continuations), since the bundled kernels are transcribed
+from the paper's figures rather than from original punched-card sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LexerError
+
+# Token kinds
+NAME = "NAME"
+INT = "INT"
+REAL = "REAL"
+OP = "OP"
+NEWLINE = "NEWLINE"
+EOF = "EOF"
+LABEL = "LABEL"
+STRING = "STRING"
+
+#: Dotted logical/relational operators, longest first.
+_DOT_OPS = [
+    ".FALSE.",
+    ".TRUE.",
+    ".AND.",
+    ".NOT.",
+    ".EQ.",
+    ".NE.",
+    ".GE.",
+    ".GT.",
+    ".LE.",
+    ".LT.",
+    ".OR.",
+]
+
+_TWO_CHAR = ["**"]
+_ONE_CHAR = "+-*/(),=:<>"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str
+    value: str
+    line: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}({self.value})@{self.line}"
+
+
+def _strip_comment_lines(source: str) -> list[tuple[int, str]]:
+    """Physical lines minus comments, keeping original line numbers."""
+    lines: list[tuple[int, str]] = []
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        if not raw.strip():
+            continue
+        first = raw.lstrip()[:1]
+        if raw[:1] in ("C", "c", "*") and not raw[:1].isspace():
+            # fixed-form comment: marker in column 1 only
+            if raw is raw.lstrip():
+                continue
+        if first == "!":
+            continue
+        code = raw.split("!", 1)[0]
+        if code.strip():
+            lines.append((lineno, code))
+    return lines
+
+
+def _join_continuations(lines: list[tuple[int, str]]) -> list[tuple[int, str]]:
+    """Merge fixed-form (column 6) and free-form (&) continuations."""
+    logical: list[tuple[int, str]] = []
+    for lineno, code in lines:
+        is_fixed_cont = (
+            len(code) > 5
+            and code[:5].strip() == ""
+            and code[5] not in (" ", "0")
+        )
+        if logical and is_fixed_cont:
+            prev_no, prev = logical[-1]
+            logical[-1] = (prev_no, prev + " " + code[6:])
+            continue
+        if logical and logical[-1][1].rstrip().endswith("&"):
+            prev_no, prev = logical[-1]
+            logical[-1] = (prev_no, prev.rstrip()[:-1] + " " + code.lstrip())
+            continue
+        logical.append((lineno, code))
+    return logical
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenise a mini-FORTRAN source into a flat token list.
+
+    Statement labels (a leading integer in a fixed-form line) become
+    ``LABEL`` tokens; every logical line ends with a ``NEWLINE`` token and
+    the stream ends with ``EOF``.
+    """
+    tokens: list[Token] = []
+    for lineno, code in _join_continuations(_strip_comment_lines(source)):
+        text = code.rstrip()
+        i = 0
+        n = len(text)
+        at_line_start = True
+        while i < n:
+            ch = text[i]
+            if ch in " \t":
+                i += 1
+                continue
+            if at_line_start and ch.isdigit():
+                # A statement label (e.g. "100 CONTINUE", "DO 400 ..." targets)
+                j = i
+                while j < n and text[j].isdigit():
+                    j += 1
+                if j < n and text[j] in " \t":
+                    tokens.append(Token(LABEL, text[i:j], lineno))
+                    i = j
+                    at_line_start = False
+                    continue
+            at_line_start = False
+            if ch in ("'", '"'):
+                j = i + 1
+                while j < n:
+                    if text[j] == ch:
+                        if j + 1 < n and text[j + 1] == ch:  # doubled quote
+                            j += 2
+                            continue
+                        break
+                    j += 1
+                if j >= n:
+                    raise LexerError("unterminated string literal", lineno, i)
+                tokens.append(Token(STRING, text[i + 1 : j], lineno))
+                i = j + 1
+                continue
+            if ch == ".":
+                upper = text[i:].upper()
+                for op in _DOT_OPS:
+                    if upper.startswith(op):
+                        tokens.append(Token(OP, op, lineno))
+                        i += len(op)
+                        break
+                else:
+                    # a real literal like .5D0
+                    j = i + 1
+                    while j < n and (text[j].isalnum() or text[j] in "+-."):
+                        j += 1
+                    tokens.append(Token(REAL, text[i:j], lineno))
+                    i = j
+                continue
+            if ch.isdigit():
+                j = i
+                while j < n and text[j].isdigit():
+                    j += 1
+                if j < n and text[j] in ".DdEe" and not _looks_like_name(text, j):
+                    k = j + 1
+                    while k < n and (text[k].isalnum() or text[k] in "+-."):
+                        k += 1
+                    tokens.append(Token(REAL, text[i:k], lineno))
+                    i = k
+                else:
+                    tokens.append(Token(INT, text[i:j], lineno))
+                    i = j
+                continue
+            if ch.isalpha() or ch == "_":
+                j = i
+                while j < n and (text[j].isalnum() or text[j] == "_"):
+                    j += 1
+                tokens.append(Token(NAME, text[i:j].upper(), lineno))
+                i = j
+                continue
+            two = text[i : i + 2]
+            if two in _TWO_CHAR:
+                tokens.append(Token(OP, two, lineno))
+                i += 2
+                continue
+            if ch in _ONE_CHAR:
+                tokens.append(Token(OP, ch, lineno))
+                i += 1
+                continue
+            raise LexerError(f"unexpected character {ch!r}", lineno, i)
+        tokens.append(Token(NEWLINE, "", lineno))
+    tokens.append(Token(EOF, "", tokens[-1].line + 1 if tokens else 1))
+    return tokens
+
+
+def _looks_like_name(text: str, j: int) -> bool:
+    """Disambiguate ``100D0`` (real) from ``100 DO`` style adjacency."""
+    if text[j] in "Dd" and j + 1 < len(text) and text[j + 1].isalpha():
+        return True
+    return False

@@ -1,0 +1,282 @@
+"""Lowering the mini-FORTRAN AST to the analysable IR.
+
+Enforces the paper's program model while translating: loop bounds, IF
+conditions and subscripts must lower to affine expressions of the loop
+indices with compile-time-known constants; anything else raises
+:class:`~repro.errors.NonAffineError` (the data-dependent constructs the
+model excludes).
+
+Reads are collected from right-hand sides in left-to-right source order and
+the write is appended last, matching the access order the analysis and the
+simulator share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import NonAffineError, ParseError
+from repro.polyhedra.affine import Affine, Var
+from repro.polyhedra.constraints import Constraint, ConstraintSet
+from repro.ir.arrays import Array
+from repro.ir.nodes import (
+    Actual,
+    ActualArray,
+    ActualElement,
+    ActualExpr,
+    ActualScalar,
+    Call,
+    If,
+    Loop,
+    Node,
+    Program,
+    Ref,
+    Statement,
+    Subroutine,
+)
+from repro.ir.arrays import Scalar
+from repro.frontend.ast_nodes import (
+    Apply,
+    Assign,
+    BinOp,
+    CallStmt,
+    DoLoop,
+    Expr,
+    Ident,
+    IfBlock,
+    Num,
+    SourceFile,
+    Stmt,
+    UnOp,
+    Unit,
+)
+from repro.frontend.parser import parse_source
+
+
+@dataclass
+class _Scope:
+    """Per-unit lowering context."""
+
+    arrays: dict[str, Array]
+    params: dict[str, int]
+    scalars: dict[str, Scalar] = field(default_factory=dict)
+    loop_vars: set[str] = field(default_factory=set)
+    stmt_counter: int = 0
+
+    def scalar(self, name: str) -> Scalar:
+        if name not in self.scalars:
+            self.scalars[name] = Scalar(name)
+        return self.scalars[name]
+
+    def next_label(self) -> str:
+        self.stmt_counter += 1
+        return f"L{self.stmt_counter}"
+
+
+def _to_affine(expr: Expr, scope: _Scope) -> Affine:
+    """Lower an expression to an affine form over the loop indices."""
+    if isinstance(expr, Num):
+        if not expr.is_int:
+            raise NonAffineError(f"real literal {expr.text} in an index expression")
+        return Affine.const(expr.int_value())
+    if isinstance(expr, Ident):
+        if expr.name in scope.loop_vars:
+            return Var(expr.name)
+        if expr.name in scope.params:
+            return Affine.const(scope.params[expr.name])
+        raise NonAffineError(
+            f"{expr.name} is not a loop index or PARAMETER: index expressions "
+            "must be compile-time analysable"
+        )
+    if isinstance(expr, UnOp):
+        if expr.op == "-":
+            return -_to_affine(expr.operand, scope)
+        if expr.op == "+":
+            return _to_affine(expr.operand, scope)
+        raise NonAffineError(f"operator {expr.op} in an index expression")
+    if isinstance(expr, BinOp):
+        if expr.op == "+":
+            return _to_affine(expr.left, scope) + _to_affine(expr.right, scope)
+        if expr.op == "-":
+            return _to_affine(expr.left, scope) - _to_affine(expr.right, scope)
+        if expr.op == "*":
+            return _to_affine(expr.left, scope) * _to_affine(expr.right, scope)
+        if expr.op == "/":
+            return _to_affine(expr.left, scope) // _to_affine(expr.right, scope)
+        raise NonAffineError(f"operator {expr.op} in an index expression")
+    raise NonAffineError(f"{expr!r} is not affine")
+
+
+def _collect_reads(expr: Expr, scope: _Scope, out: list[Ref]) -> None:
+    """Array reads of an expression, in left-to-right source order."""
+    if isinstance(expr, Apply):
+        if expr.name in scope.arrays:
+            array = scope.arrays[expr.name]
+            subs = [_to_affine(a, scope) for a in expr.args]
+            out.append(Ref(array, subs, False))
+        else:
+            # intrinsic function: only its arguments touch memory
+            for arg in expr.args:
+                _collect_reads(arg, scope, out)
+    elif isinstance(expr, BinOp):
+        _collect_reads(expr.left, scope, out)
+        _collect_reads(expr.right, scope, out)
+    elif isinstance(expr, UnOp):
+        _collect_reads(expr.operand, scope, out)
+    # Num / Ident (scalars are register-allocated): no memory access
+
+
+def _to_guard(expr: Expr, scope: _Scope) -> ConstraintSet:
+    """Lower an IF condition to a conjunction of affine constraints."""
+    if isinstance(expr, BinOp):
+        if expr.op == ".AND.":
+            return _to_guard(expr.left, scope).conjoin(_to_guard(expr.right, scope))
+        rel = {
+            ".EQ.": lambda l, r: l.eq(r),
+            ".NE.": None,
+            ".LT.": lambda l, r: l.lt(r),
+            ".LE.": lambda l, r: l.le(r),
+            ".GT.": lambda l, r: l.gt(r),
+            ".GE.": lambda l, r: l.ge(r),
+        }.get(expr.op, "missing")
+        if rel is None:
+            raise NonAffineError(".NE. guards describe a non-convex region")
+        if rel != "missing":
+            left = _to_affine(expr.left, scope)
+            right = _to_affine(expr.right, scope)
+            return ConstraintSet([rel(left, right)])
+    if isinstance(expr, Ident) and expr.name == ".TRUE.":
+        return ConstraintSet.true()
+    raise NonAffineError(f"condition {expr!r} is not analysable")
+
+
+def _lower_call_arg(expr: Expr, scope: _Scope) -> Actual:
+    if isinstance(expr, Ident):
+        if expr.name in scope.arrays:
+            return ActualArray(scope.arrays[expr.name])
+        if expr.name in scope.params:
+            return ActualExpr(expr.name)
+        return ActualScalar(scope.scalar(expr.name))
+    if isinstance(expr, Apply) and expr.name in scope.arrays:
+        try:
+            subs = [_to_affine(a, scope) for a in expr.args]
+        except NonAffineError:
+            return ActualExpr(repr(expr))
+        return ActualElement(scope.arrays[expr.name], subs)
+    return ActualExpr(repr(expr))
+
+
+def _lower_stmt(stmt: Stmt, scope: _Scope) -> Optional[Node]:
+    if isinstance(stmt, Assign):
+        reads: list[Ref] = []
+        _collect_reads(stmt.rhs, scope, reads)
+        if isinstance(stmt.lhs, Apply) and stmt.lhs.name in scope.arrays:
+            array = scope.arrays[stmt.lhs.name]
+            subs = [_to_affine(a, scope) for a in stmt.lhs.args]
+            write = Ref(array, subs, True)
+            return Statement(reads + [write], scope.next_label())
+        # scalar assignment: register write, only the reads touch memory
+        if reads:
+            return Statement(reads, scope.next_label())
+        return None
+    if isinstance(stmt, DoLoop):
+        lower = _to_affine(stmt.lower, scope)
+        upper = _to_affine(stmt.upper, scope)
+        step = 1
+        if stmt.step is not None:
+            step_expr = _to_affine(stmt.step, scope)
+            step = step_expr.constant_value()
+        scope.loop_vars.add(stmt.var)
+        body = _lower_body(stmt.body, scope)
+        scope.loop_vars.discard(stmt.var)
+        return Loop(stmt.var, lower, upper, body, step)
+    if isinstance(stmt, IfBlock):
+        guard = _to_guard(stmt.cond, scope)
+        return If(guard, _lower_body(stmt.body, scope))
+    if isinstance(stmt, CallStmt):
+        return Call(stmt.name, [_lower_call_arg(a, scope) for a in stmt.args])
+    raise ParseError(f"cannot lower {stmt!r}", getattr(stmt, "line", 0))
+
+
+def _lower_body(stmts: list[Stmt], scope: _Scope) -> list[Node]:
+    out: list[Node] = []
+    for s in stmts:
+        node = _lower_stmt(s, scope)
+        if node is not None:
+            out.append(node)
+    return out
+
+
+def _unit_params(unit: Unit, globals_: dict[str, int]) -> dict[str, int]:
+    merged = dict(globals_)
+    merged.update(unit.parameters)
+    return merged
+
+
+def _fold_dims(unit: Unit, params: dict[str, int]) -> dict[str, tuple]:
+    from repro.frontend.parser import _const_int
+
+    dims: dict[str, tuple] = {}
+    probe = Unit(unit.kind, unit.name, parameters=params)
+    for name, decl in unit.array_decls.items():
+        folded = []
+        for d in decl.dims:
+            folded.append(None if d is None else _const_int(d, probe, 0))
+        dims[name] = tuple(folded)
+    return dims
+
+
+def lower_source(sf: SourceFile) -> Program:
+    """Lower a parsed source file to an IR :class:`~repro.ir.Program`."""
+    program_units = [u for u in sf.units if u.kind == "PROGRAM"]
+    if not program_units:
+        raise ParseError("no PROGRAM unit found", 1)
+    main_unit = program_units[0]
+    program = Program(main_unit.name, entry=main_unit.name)
+    global_params = dict(main_unit.parameters)
+
+    # Pass 1: declare everything so calls can be lowered in any order.
+    scopes: dict[str, _Scope] = {}
+    for unit in sf.units:
+        params = _unit_params(unit, global_params)
+        dims = _fold_dims(unit, params)
+        sub = Subroutine(unit.name)
+        arrays: dict[str, Array] = {}
+        if unit.kind == "PROGRAM":
+            for name, d in dims.items():
+                arrays[name] = program.add_global_array(name, d)
+        else:
+            for formal_name in unit.formals:
+                if formal_name in dims:
+                    arrays[formal_name] = sub.add_array_formal(
+                        formal_name, dims[formal_name]
+                    )
+                else:
+                    sub.add_scalar_formal(formal_name)
+            for name, d in dims.items():
+                if name not in unit.formals:
+                    arrays[name] = sub.add_local_array(name, d)
+            # globals of the main unit are visible (COMMON-style)
+            for g in program.global_arrays:
+                arrays.setdefault(g.name, g)
+        program.add_subroutine(sub)
+        scopes[unit.name] = _Scope(arrays=arrays, params=params)
+
+    # Give subroutines access to globals declared in the PROGRAM unit even
+    # when the PROGRAM unit is parsed after them.
+    for unit in sf.units:
+        if unit.kind != "PROGRAM":
+            for g in program.global_arrays:
+                scopes[unit.name].arrays.setdefault(g.name, g)
+
+    # Pass 2: lower bodies.
+    for unit in sf.units:
+        scope = scopes[unit.name]
+        program.subroutine(unit.name).body = _lower_body(unit.body, scope)
+    return program
+
+
+def parse_program(source: str) -> Program:
+    """Parse mini-FORTRAN text directly into an IR program."""
+    return lower_source(parse_source(source))

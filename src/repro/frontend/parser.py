@@ -1,0 +1,413 @@
+"""Recursive-descent parser for the mini-FORTRAN subset.
+
+Covers the constructs the paper's program model admits: PROGRAM/SUBROUTINE
+units, ``REAL[*8]``/``INTEGER``/``DIMENSION``/``PARAMETER`` declarations,
+``DO`` loops (block ``ENDDO`` form and labelled ``DO 400 … 400 CONTINUE``
+form, including *shared* labels as in the MGRID kernel of Fig. 8), block
+and one-line ``IF``, assignments and ``CALL``.  I/O statements are skipped
+(the paper excludes system-call memory traffic from its analysis).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ParseError
+from repro.frontend.ast_nodes import (
+    Apply,
+    ArrayDecl,
+    Assign,
+    BinOp,
+    CallStmt,
+    DoLoop,
+    Expr,
+    Ident,
+    IfBlock,
+    Num,
+    SourceFile,
+    Stmt,
+    UnOp,
+    Unit,
+)
+from repro.frontend.lexer import EOF, INT, LABEL, NAME, NEWLINE, OP, REAL, Token, tokenize
+
+_SKIPPED = {"WRITE", "READ", "PRINT", "FORMAT", "GOTO", "DATA", "IMPLICIT", "SAVE"}
+
+_REL_OPS = {".EQ.", ".NE.", ".LT.", ".LE.", ".GT.", ".GE."}
+
+
+class Parser:
+    """Token-stream parser producing a :class:`SourceFile`."""
+
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- cursor helpers ---------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != EOF:
+            self.pos += 1
+        return tok
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        tok = self.advance()
+        if tok.kind != kind or (value is not None and tok.value != value):
+            want = value if value is not None else kind
+            raise ParseError(f"expected {want}, found {tok.value or tok.kind}", tok.line)
+        return tok
+
+    def at(self, kind: str, value: Optional[str] = None) -> bool:
+        tok = self.peek()
+        return tok.kind == kind and (value is None or tok.value == value)
+
+    def eat_newlines(self) -> None:
+        while self.at(NEWLINE):
+            self.advance()
+
+    def skip_line(self) -> None:
+        while not self.at(NEWLINE) and not self.at(EOF):
+            self.advance()
+        if self.at(NEWLINE):
+            self.advance()
+
+    # -- units ---------------------------------------------------------------------
+
+    def parse_source(self) -> SourceFile:
+        """Parse the whole file (one PROGRAM and any SUBROUTINEs)."""
+        sf = SourceFile()
+        self.eat_newlines()
+        while not self.at(EOF):
+            sf.units.append(self.parse_unit())
+            self.eat_newlines()
+        if not sf.units:
+            raise ParseError("empty source", 1)
+        return sf
+
+    def parse_unit(self) -> Unit:
+        tok = self.expect(NAME)
+        if tok.value == "PROGRAM":
+            name = self.expect(NAME).value
+            unit = Unit("PROGRAM", name)
+        elif tok.value == "SUBROUTINE":
+            name = self.expect(NAME).value
+            unit = Unit("SUBROUTINE", name)
+            if self.at(OP, "("):
+                self.advance()
+                while not self.at(OP, ")"):
+                    unit.formals.append(self.expect(NAME).value)
+                    if self.at(OP, ","):
+                        self.advance()
+                self.expect(OP, ")")
+        else:
+            raise ParseError(
+                f"expected PROGRAM or SUBROUTINE, found {tok.value}", tok.line
+            )
+        self.expect(NEWLINE)
+        self.parse_declarations(unit)
+        unit.body = self.parse_body(unit, terminators={"END"})
+        return unit
+
+    # -- declarations -----------------------------------------------------------------
+
+    def parse_declarations(self, unit: Unit) -> None:
+        while True:
+            self.eat_newlines()
+            tok = self.peek()
+            if tok.kind != NAME:
+                return
+            word = tok.value
+            if word in ("REAL", "INTEGER", "DOUBLE"):
+                self.advance()
+                if word == "DOUBLE":  # DOUBLE PRECISION
+                    self.expect(NAME, "PRECISION")
+                if self.at(OP, "*"):
+                    self.advance()
+                    self.expect(INT)  # REAL*8
+                self._declare_list(unit)
+            elif word == "DIMENSION":
+                self.advance()
+                self._declare_list(unit, require_dims=True)
+            elif word == "PARAMETER":
+                self.advance()
+                self.expect(OP, "(")
+                while not self.at(OP, ")"):
+                    pname = self.expect(NAME).value
+                    self.expect(OP, "=")
+                    value = self.parse_expr()
+                    unit.parameters[pname] = _const_int(value, unit, tok.line)
+                    if self.at(OP, ","):
+                        self.advance()
+                self.expect(OP, ")")
+                self.expect(NEWLINE)
+            elif word == "COMMON":
+                self.skip_line()  # names must still be DIMENSIONed to be arrays
+            elif word in ("IMPLICIT", "SAVE", "DATA", "EXTERNAL", "INTRINSIC"):
+                self.skip_line()
+            else:
+                return
+
+    def _declare_list(self, unit: Unit, require_dims: bool = False) -> None:
+        while True:
+            name = self.expect(NAME).value
+            if self.at(OP, "("):
+                self.advance()
+                dims: list[Optional[Expr]] = []
+                while not self.at(OP, ")"):
+                    if self.at(OP, "*"):
+                        self.advance()
+                        dims.append(None)
+                    else:
+                        dims.append(self.parse_expr())
+                    if self.at(OP, ","):
+                        self.advance()
+                self.expect(OP, ")")
+                unit.array_decls[name] = ArrayDecl(name, dims)
+            elif require_dims:
+                raise ParseError(
+                    f"DIMENSION {name} lacks dimensions", self.peek().line
+                )
+            if self.at(OP, ","):
+                self.advance()
+                continue
+            break
+        self.expect(NEWLINE)
+
+    # -- statement bodies ----------------------------------------------------------------
+
+    def parse_body(self, unit: Unit, terminators: set[str]) -> list[Stmt]:
+        """Parse statements until one of ``terminators`` (consumed)."""
+        body: list[Stmt] = []
+        # stack of (DoLoop, end_label or None); loops with labels close when
+        # their labelled terminal statement is reached (MGRID shares labels).
+        loop_stack: list[tuple[DoLoop, Optional[str]]] = []
+
+        def current_body() -> list[Stmt]:
+            return loop_stack[-1][0].body if loop_stack else body
+
+        while True:
+            self.eat_newlines()
+            tok = self.peek()
+            if tok.kind == EOF:
+                raise ParseError("unexpected end of file", tok.line)
+            label: Optional[str] = None
+            if tok.kind == LABEL:
+                label = self.advance().value
+                tok = self.peek()
+            word = tok.value if tok.kind == NAME else ""
+            if word in terminators and not loop_stack:
+                self.advance()
+                self.skip_line()
+                return body
+            if word == "ENDDO" or (word == "END" and self.peek(1).value == "DO"):
+                if not loop_stack:
+                    raise ParseError("ENDDO without DO", tok.line)
+                self.advance()
+                if word == "END":
+                    self.advance()
+                self.skip_line()
+                loop, end_label = loop_stack.pop()
+                if end_label is not None:
+                    raise ParseError(
+                        f"loop expects label {end_label}, found ENDDO", tok.line
+                    )
+                (loop_stack[-1][0].body if loop_stack else body).append(loop)
+                continue
+            if word == "DO" and self.peek(1).kind in (LABEL, INT, NAME):
+                self.advance()
+                end_label = None
+                if self.peek().kind in (LABEL, INT):
+                    end_label = self.advance().value
+                var = self.expect(NAME).value
+                self.expect(OP, "=")
+                lower = self.parse_expr()
+                self.expect(OP, ",")
+                upper = self.parse_expr()
+                step = None
+                if self.at(OP, ","):
+                    self.advance()
+                    step = self.parse_expr()
+                self.expect(NEWLINE)
+                loop_stack.append(
+                    (DoLoop(var, lower, upper, step, [], tok.line), end_label)
+                )
+                continue
+            stmt = self.parse_simple_statement(tok, unit)
+            if stmt is not None:
+                current_body().append(stmt)
+            # A labelled statement terminates every loop waiting on it.
+            if label is not None:
+                while loop_stack and loop_stack[-1][1] == label:
+                    loop, _ = loop_stack.pop()
+                    (loop_stack[-1][0].body if loop_stack else body).append(loop)
+
+    def parse_simple_statement(self, tok: Token, unit: Unit) -> Optional[Stmt]:
+        word = tok.value if tok.kind == NAME else ""
+        if word == "CONTINUE":
+            self.advance()
+            self.skip_line()
+            return None
+        if word in ("RETURN", "STOP"):
+            self.advance()
+            self.skip_line()
+            return None
+        if word in _SKIPPED:
+            self.skip_line()
+            return None
+        if word == "CALL":
+            self.advance()
+            name = self.expect(NAME).value
+            args: list[Expr] = []
+            if self.at(OP, "("):
+                self.advance()
+                while not self.at(OP, ")"):
+                    args.append(self.parse_expr())
+                    if self.at(OP, ","):
+                        self.advance()
+                self.expect(OP, ")")
+            self.expect(NEWLINE)
+            return CallStmt(name, args, tok.line)
+        if word == "IF":
+            self.advance()
+            self.expect(OP, "(")
+            cond = self.parse_expr(stop_paren=True)
+            self.expect(OP, ")")
+            if self.at(NAME, "THEN"):
+                self.advance()
+                self.expect(NEWLINE)
+                block = IfBlock(cond, [], tok.line)
+                block.body = self.parse_body(unit, terminators={"ENDIF"})
+                return block
+            inner = self.parse_simple_statement(self.peek(), unit)
+            block = IfBlock(cond, [inner] if inner is not None else [], tok.line)
+            return block
+        if word == "ELSE":
+            raise ParseError("ELSE blocks are not supported by the model", tok.line)
+        # assignment
+        lhs = self.parse_primary()
+        self.expect(OP, "=")
+        rhs = self.parse_expr()
+        self.expect(NEWLINE)
+        return Assign(lhs, rhs, tok.line)
+
+    # -- expressions -------------------------------------------------------------------------
+
+    def parse_expr(self, stop_paren: bool = False) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self.at(OP, ".OR."):
+            self.advance()
+            left = BinOp(".OR.", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_not()
+        while self.at(OP, ".AND."):
+            self.advance()
+            left = BinOp(".AND.", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> Expr:
+        if self.at(OP, ".NOT."):
+            self.advance()
+            return UnOp(".NOT.", self._parse_not())
+        return self._parse_rel()
+
+    def _parse_rel(self) -> Expr:
+        left = self._parse_add()
+        tok = self.peek()
+        if tok.kind == OP and tok.value in _REL_OPS:
+            self.advance()
+            return BinOp(tok.value, left, self._parse_add())
+        return left
+
+    def _parse_add(self) -> Expr:
+        left = self._parse_mul()
+        while self.peek().kind == OP and self.peek().value in ("+", "-"):
+            op = self.advance().value
+            left = BinOp(op, left, self._parse_mul())
+        return left
+
+    def _parse_mul(self) -> Expr:
+        left = self._parse_unary()
+        while self.peek().kind == OP and self.peek().value in ("*", "/"):
+            op = self.advance().value
+            left = BinOp(op, left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> Expr:
+        if self.peek().kind == OP and self.peek().value in ("+", "-"):
+            op = self.advance().value
+            return UnOp(op, self._parse_unary())
+        return self._parse_power()
+
+    def _parse_power(self) -> Expr:
+        left = self.parse_primary()
+        if self.at(OP, "**"):
+            self.advance()
+            return BinOp("**", left, self._parse_unary())
+        return left
+
+    def parse_primary(self) -> Expr:
+        tok = self.advance()
+        if tok.kind == INT:
+            return Num(tok.value)
+        if tok.kind == REAL:
+            return Num(tok.value)
+        if tok.kind == OP and tok.value == "(":
+            inner = self.parse_expr()
+            self.expect(OP, ")")
+            return inner
+        if tok.kind == NAME:
+            if tok.value in (".TRUE.", ".FALSE."):
+                return Ident(tok.value)
+            if self.at(OP, "("):
+                self.advance()
+                args: list[Expr] = []
+                while not self.at(OP, ")"):
+                    args.append(self.parse_expr())
+                    if self.at(OP, ","):
+                        self.advance()
+                self.expect(OP, ")")
+                return Apply(tok.value, tuple(args))
+            return Ident(tok.value)
+        if tok.kind == OP and tok.value in (".TRUE.", ".FALSE."):
+            return Ident(tok.value)
+        raise ParseError(f"unexpected token {tok.value or tok.kind}", tok.line)
+
+
+def _const_int(expr: Expr, unit: Unit, line: int) -> int:
+    """Fold a constant integer expression using the unit's PARAMETERs."""
+    if isinstance(expr, Num):
+        if not expr.is_int:
+            raise ParseError(f"expected integer constant, got {expr.text}", line)
+        return expr.int_value()
+    if isinstance(expr, Ident):
+        if expr.name in unit.parameters:
+            return unit.parameters[expr.name]
+        raise ParseError(f"unknown parameter {expr.name}", line)
+    if isinstance(expr, UnOp) and expr.op == "-":
+        return -_const_int(expr.operand, unit, line)
+    if isinstance(expr, BinOp):
+        left = _const_int(expr.left, unit, line)
+        right = _const_int(expr.right, unit, line)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "/":
+            return left // right
+    raise ParseError("expression is not a compile-time integer constant", line)
+
+
+def parse_source(source: str) -> SourceFile:
+    """Parse mini-FORTRAN text into a :class:`SourceFile`."""
+    return Parser(source).parse_source()

@@ -1,0 +1,36 @@
+"""Abstract inlining of subroutine calls (Section 3.6 of the paper)."""
+
+from repro.inline.classify import (
+    N_ABLE,
+    P_ABLE,
+    R_ABLE,
+    CallClassification,
+    CallStats,
+    classify_actual,
+    classify_call,
+    classify_program,
+)
+from repro.inline.calltree import (
+    CallNode,
+    build_call_tree,
+    frame_words,
+    max_stack_words,
+)
+from repro.inline.abstract_inline import InlineResult, inline_program
+
+__all__ = [
+    "N_ABLE",
+    "P_ABLE",
+    "R_ABLE",
+    "CallClassification",
+    "CallStats",
+    "classify_actual",
+    "classify_call",
+    "classify_program",
+    "CallNode",
+    "build_call_tree",
+    "frame_words",
+    "max_stack_words",
+    "InlineResult",
+    "inline_program",
+]

@@ -1,0 +1,321 @@
+"""Abstract inlining of CALL statements (Section 3.6, Figs. 4 and 5).
+
+The inliner produces the information needed to analyse the inlined code
+without generating compilable code:
+
+* **propagation** — a formal matching a same-shape (or one-dimensional)
+  actual is substituted directly: ``FP(f1, …, fk)`` becomes
+  ``AP(f1 + a1 − 1, …, fk + ak − 1)`` where ``AP(a1, …, ak)`` is the actual's
+  base element.  For a one-dimensional formal over a multi-dimensional
+  actual the reference goes through a linearised view of AP's storage.
+* **renaming** — otherwise a fresh :class:`~repro.ir.ArrayView` ``AP'`` with
+  the formal's shape is created over AP's storage (``@AP = @AP'``), and the
+  caller's element offset is folded into the *first* subscript — which is
+  address-exact because the first dimension of a column-major array has
+  unit stride (this reproduces ``B1(I1 + 10*(I2−1) + I3 − 1, I4, 2)`` of
+  Fig. 5).
+* callee loop variables are freshly renamed per call instance, so nests
+  inlined several times stay well formed;
+* optionally, the run-time-stack accesses of Fig. 4 are materialised as
+  reads/writes of a ``STACK`` array at compile-time-known offsets.
+
+The result is a single call-free subroutine ready for normalisation — "one
+loop nest for the program", as the paper obtains for its whole programs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import NonAnalysableCallError
+from repro.polyhedra.affine import Affine
+from repro.ir.arrays import Array, ArrayView
+from repro.ir.nodes import (
+    Actual,
+    ActualArray,
+    ActualElement,
+    ActualExpr,
+    ActualScalar,
+    Call,
+    If,
+    Loop,
+    Node,
+    Program,
+    Ref,
+    Statement,
+    Subroutine,
+)
+from repro.inline.classify import (
+    N_ABLE,
+    CallStats,
+    classify_actual,
+    classify_program,
+)
+from repro.inline.calltree import build_call_tree, frame_words, max_stack_words
+
+
+class _Binding:
+    """How references to one array formal are rewritten."""
+
+    __slots__ = ("array", "base_subs", "first_offset")
+
+    def __init__(self, array: Array, base_subs, first_offset: Optional[Affine]):
+        self.array = array  # target array (actual or view)
+        self.base_subs = base_subs  # per-dim base element (direct propagation)
+        self.first_offset = first_offset  # folded offset (view bindings)
+
+    def rewrite(self, ref: Ref) -> Ref:
+        if self.first_offset is not None:
+            subs = (ref.subscripts[0] + self.first_offset,) + ref.subscripts[1:]
+            return ref.rebind(self.array, subs)
+        subs = tuple(
+            f + (a - 1) for f, a in zip(ref.subscripts, self.base_subs)
+        )
+        return ref.rebind(self.array, subs)
+
+
+@dataclass
+class InlineResult:
+    """Outcome of abstractly inlining a whole program."""
+
+    flat: Subroutine  # the single call-free body
+    stats: CallStats  # Table 2 row (syntactic classification)
+    inlined_instances: int = 0
+    dropped_calls: int = 0
+    views: list[ArrayView] = field(default_factory=list)
+    stack_array: Optional[Array] = None
+
+    @property
+    def fully_analysable(self) -> bool:
+        """True iff no call had to be dropped."""
+        return self.dropped_calls == 0
+
+
+class _Inliner:
+    def __init__(self, program: Program, on_non_analysable: str, model_stack: bool):
+        if on_non_analysable not in ("raise", "drop"):
+            raise ValueError("on_non_analysable must be 'raise' or 'drop'")
+        self.program = program
+        self.on_non_analysable = on_non_analysable
+        self.model_stack = model_stack
+        self.result_views: list[ArrayView] = []
+        self._view_counters: dict[str, itertools.count] = {}
+        self._rename_counter = itertools.count(1)
+        self.inlined_instances = 0
+        self.dropped = 0
+        self.stack: Optional[Array] = None
+
+    # -- view bookkeeping -----------------------------------------------------
+
+    def _fresh_view(self, root: Array, dims) -> ArrayView:
+        counter = self._view_counters.setdefault(root.name, itertools.count(1))
+        view = ArrayView(f"{root.name}{next(counter)}", root, dims)
+        self.result_views.append(view)
+        return view
+
+    # -- actual resolution -------------------------------------------------------
+
+    def _resolve_actual(self, actual: Actual, rename, bindings) -> Actual:
+        """Rewrite an actual of a *nested* call into caller terms."""
+        if isinstance(actual, (ActualScalar, ActualExpr)):
+            return actual
+        if isinstance(actual, ActualElement):
+            subs = tuple(s.rename(rename) for s in actual.subscripts)
+            binding = bindings.get(id(actual.array))
+            if binding is None:
+                return ActualElement(actual.array, subs)
+            rewritten = binding.rewrite(Ref(actual.array, subs))
+            return ActualElement(rewritten.array, rewritten.subscripts)
+        assert isinstance(actual, ActualArray)
+        binding = bindings.get(id(actual.array))
+        if binding is None:
+            return actual
+        ones = tuple(Affine.const(1) for _ in range(actual.array.ndim))
+        rewritten = binding.rewrite(Ref(actual.array, ones))
+        if all(s == Affine.const(1) for s in rewritten.subscripts):
+            return ActualArray(rewritten.array)
+        return ActualElement(rewritten.array, rewritten.subscripts)
+
+    # -- binding construction -------------------------------------------------------
+
+    def _bind(self, actual: Actual, formal) -> Optional[_Binding]:
+        """Binding for one analysable array formal (None for scalars)."""
+        if formal.is_scalar:
+            return None  # register-allocated: no memory accesses
+        fp = formal.array
+        if isinstance(actual, ActualArray):
+            ap, ap_subs = actual.array, tuple(
+                Affine.const(1) for _ in range(actual.array.ndim)
+            )
+        else:
+            assert isinstance(actual, ActualElement)
+            ap, ap_subs = actual.array, actual.subscripts
+        kind = classify_actual(actual, formal)
+        same_shape = ap.ndim == fp.ndim and ap.dims[:-1] == fp.dims[:-1]
+        if kind != N_ABLE and same_shape:
+            # direct propagation keeps the caller's array identity (and
+            # therefore unifies uniformly generated sets across the call)
+            return _Binding(ap, ap_subs, None)
+        # linearised or renamed: a view over AP's storage with FP's shape,
+        # with the actual's element offset folded into the first subscript.
+        offset = ap.element_offset(ap_subs)
+        view = self._fresh_view(ap.storage(), fp.dims)
+        return _Binding(view, None, offset)
+
+    # -- stack accesses (Fig. 4) ------------------------------------------------------
+
+    def _ensure_stack(self, program: Program) -> Array:
+        if self.stack is None:
+            words = max(1, max_stack_words(build_call_tree(program)))
+            self.stack = Array("STACK", (words,), element_size=4)
+        return self.stack
+
+    def _stack_pre(self, bp: int, n_actuals: int) -> Statement:
+        stack = self.stack
+        refs = [Ref(stack, (Affine.const(bp + 1),), True)]  # return address
+        refs += [
+            Ref(stack, (Affine.const(bp + 1 + i),), True)
+            for i in range(1, n_actuals + 1)
+        ]
+        return Statement(refs, "STK+")
+
+    def _stack_args(self, bp: int, n_actuals: int) -> Statement:
+        stack = self.stack
+        refs = [
+            Ref(stack, (Affine.const(bp + 1 + i),), False)
+            for i in range(1, n_actuals + 1)
+        ]
+        return Statement(refs, "STKA")
+
+    def _stack_post(self, bp: int) -> Statement:
+        return Statement([Ref(self.stack, (Affine.const(bp + 1),), False)], "STK-")
+
+    # -- body transformation ---------------------------------------------------------
+
+    def inline_body(
+        self,
+        body: list[Node],
+        rename: dict[str, str],
+        bindings: dict[int, _Binding],
+        bp: int,
+    ) -> list[Node]:
+        out: list[Node] = []
+        for node in body:
+            if isinstance(node, Statement):
+                stmt = node.rename(rename)
+                refs = []
+                for ref in stmt.refs:
+                    binding = bindings.get(id(ref.array))
+                    refs.append(binding.rewrite(ref) if binding else ref)
+                out.append(Statement(refs, stmt.label))
+            elif isinstance(node, Loop):
+                new_var = rename.get(node.var, node.var)
+                out.append(
+                    Loop(
+                        new_var,
+                        node.lower.rename(rename),
+                        node.upper.rename(rename),
+                        self.inline_body(node.body, rename, bindings, bp),
+                        node.step,
+                    )
+                )
+            elif isinstance(node, If):
+                out.append(
+                    If(
+                        node.guard.rename(rename),
+                        self.inline_body(node.body, rename, bindings, bp),
+                    )
+                )
+            elif isinstance(node, Call):
+                out.extend(self.inline_call(node, rename, bindings, bp))
+            else:  # pragma: no cover - defensive
+                raise NonAnalysableCallError(f"unsupported node {node!r}")
+        return out
+
+    def inline_call(
+        self,
+        call: Call,
+        rename: dict[str, str],
+        bindings: dict[int, _Binding],
+        bp: int,
+    ) -> list[Node]:
+        callee = self.program.subroutine(call.callee)
+        actuals = [self._resolve_actual(a, rename, bindings) for a in call.actuals]
+        if len(actuals) != len(callee.formals):
+            return self._non_analysable(call, "actual/formal arity mismatch")
+        labels = [classify_actual(a, f) for a, f in zip(actuals, callee.formals)]
+        if any(l == N_ABLE for l in labels):
+            return self._non_analysable(call, "non-analysable actual parameter")
+        callee_bindings: dict[int, _Binding] = {}
+        for actual, formal in zip(actuals, callee.formals):
+            if formal.is_scalar:
+                continue
+            binding = self._bind(actual, formal)
+            if binding is not None:
+                callee_bindings[id(formal.array)] = binding
+        # Fresh names for the callee's loop variables in this instance.
+        suffix = next(self._rename_counter)
+        callee_rename = {
+            var: f"{var}_c{suffix}" for var in _loop_vars(callee.body)
+        }
+        self.inlined_instances += 1
+        child_bp = bp + frame_words(call)
+        spliced = self.inline_body(
+            callee.body, callee_rename, callee_bindings, child_bp
+        )
+        if self.model_stack:
+            self._ensure_stack(self.program)
+            n = len(call.actuals)
+            pre = [self._stack_pre(bp, n)]
+            if n:
+                pre.append(self._stack_args(bp, n))
+            return pre + spliced + [self._stack_post(bp)]
+        return spliced
+
+    def _non_analysable(self, call: Call, why: str) -> list[Node]:
+        if self.on_non_analysable == "raise":
+            raise NonAnalysableCallError(f"CALL {call.callee}: {why}")
+        self.dropped += 1
+        return []
+
+
+def _loop_vars(body: list[Node]) -> set[str]:
+    names: set[str] = set()
+    for node in body:
+        if isinstance(node, Loop):
+            names.add(node.var)
+            names |= _loop_vars(node.body)
+        elif isinstance(node, If):
+            names |= _loop_vars(node.body)
+    return names
+
+
+def inline_program(
+    program: Program,
+    entry: Optional[str] = None,
+    on_non_analysable: str = "raise",
+    model_stack: bool = False,
+) -> InlineResult:
+    """Abstractly inline every call reachable from the entry subroutine.
+
+    Returns an :class:`InlineResult` whose ``flat`` subroutine is call-free
+    and ready for :func:`~repro.normalize.normalize`.  ``model_stack=True``
+    adds the Fig. 4 run-time-stack accesses (a ``STACK`` array reference
+    stream at compile-time-known offsets).
+    """
+    entry = entry if entry is not None else program.entry
+    build_call_tree(program, entry)  # validates: no recursion, callees known
+    inliner = _Inliner(program, on_non_analysable, model_stack)
+    main = program.subroutine(entry)
+    flat = Subroutine(f"{main.name}_inlined")
+    flat.body = inliner.inline_body(main.body, {}, {}, 0)
+    return InlineResult(
+        flat=flat,
+        stats=classify_program(program),
+        inlined_instances=inliner.inlined_instances,
+        dropped_calls=inliner.dropped,
+        views=inliner.result_views,
+        stack_array=inliner.stack,
+    )

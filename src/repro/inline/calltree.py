@@ -1,0 +1,72 @@
+"""The static call tree (no recursion allowed, Section 3 of the paper).
+
+Because recursive calls are outside the program model, the call graph
+unrolled from the entry point is a finite tree; every call *site instance*
+gets a node.  The tree provides recursion detection and the compile-time
+base-pointer (BP) offsets of the run-time stack model (Fig. 4): "If SP is 0
+initially, its value is known at compile time at every call site due to the
+absence of recursive calls."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.errors import RecursionError_, UnknownSubroutineError
+from repro.ir.nodes import Call, Program, Subroutine, calls_of
+
+
+@dataclass
+class CallNode:
+    """One call-site instance in the unrolled static call tree."""
+
+    subroutine: str
+    call: Optional[Call]  # None for the root (the entry subroutine)
+    bp: int  # base-pointer word offset at entry to this activation
+    children: list["CallNode"] = field(default_factory=list)
+
+    def walk(self) -> Iterator["CallNode"]:
+        """This node and all descendants, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def frame_words(call: Optional[Call]) -> int:
+    """Stack words an activation occupies: return address + one per actual."""
+    if call is None:
+        return 1
+    return 1 + len(call.actuals)
+
+
+def build_call_tree(program: Program, entry: str | None = None) -> CallNode:
+    """Unroll the static call tree from the entry subroutine.
+
+    Raises :class:`~repro.errors.RecursionError_` on a cyclic call chain and
+    :class:`~repro.errors.UnknownSubroutineError` for a missing callee.
+    """
+    entry = entry if entry is not None else program.entry
+
+    def visit(sub: Subroutine, call: Optional[Call], bp: int, path: tuple[str, ...]) -> CallNode:
+        if sub.name in path:
+            chain = " -> ".join(path + (sub.name,))
+            raise RecursionError_(f"recursive call chain: {chain}")
+        node = CallNode(sub.name, call, bp)
+        child_bp = bp + frame_words(call)
+        for inner in calls_of(sub.body):
+            callee = program.subroutine(inner.callee)  # may raise Unknown...
+            node.children.append(
+                visit(callee, inner, child_bp, path + (sub.name,))
+            )
+        return node
+
+    return visit(program.subroutine(entry), None, 0, ())
+
+
+def max_stack_words(root: CallNode) -> int:
+    """The deepest BP plus its frame — sizes the ``Stack`` array of Fig. 4."""
+    deepest = 0
+    for node in root.walk():
+        deepest = max(deepest, node.bp + frame_words(node.call))
+    return deepest

@@ -1,0 +1,142 @@
+"""Classification of actual parameters (Section 3.6 and Table 2).
+
+An actual parameter AP matched to a formal FP is
+
+* **propagateable** (``P-able``) — every callee reference to FP can be
+  replaced by a reference to AP, letting reuse be exploited across the call:
+  FP is a scalar, or FP is a one-dimensional array, or AP and FP are arrays
+  of the same dimensionality with matching sizes in all but the last
+  dimension;
+* **renameable** (``R-able``) — the callee references are rewritten to a
+  fresh array AP' with FP's shape and AP's base address (``@AP = @AP'``),
+  preserving reuse *within* the callee: the sizes of all but the last
+  dimension of both are statically known (always true in this IR), and AP
+  is an array or array element;
+* **non-analysable** (``N-able``) — anything else (general expressions,
+  data-dependent actuals).
+
+A call is *analysable* — can be abstractly inlined — iff all its actuals are
+propagateable or renameable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.nodes import (
+    Actual,
+    ActualArray,
+    ActualElement,
+    ActualExpr,
+    ActualScalar,
+    Call,
+    Formal,
+    Program,
+    Subroutine,
+    calls_of,
+)
+
+P_ABLE = "propagateable"
+R_ABLE = "renameable"
+N_ABLE = "non-analysable"
+
+
+def classify_actual(actual: Actual, formal: Formal) -> str:
+    """Classify one actual parameter against its matching formal."""
+    if isinstance(actual, ActualExpr):
+        return N_ABLE
+    if formal.is_scalar:
+        # Scalars (and array elements bound to scalar formals) propagate.
+        return P_ABLE
+    fp = formal.array
+    assert fp is not None
+    if isinstance(actual, ActualScalar):
+        return N_ABLE  # scalar bound to an array formal is not analysable
+    ap = actual.array if isinstance(actual, (ActualArray, ActualElement)) else None
+    if ap is None:  # pragma: no cover - defensive
+        return N_ABLE
+    if fp.ndim == 1:
+        return P_ABLE
+    if ap.ndim == fp.ndim and ap.dims[:-1] == fp.dims[:-1]:
+        return P_ABLE
+    return R_ABLE
+
+
+@dataclass
+class CallClassification:
+    """Classification of a whole CALL statement."""
+
+    call: Call
+    per_actual: list[str] = field(default_factory=list)
+
+    @property
+    def analysable(self) -> bool:
+        """True iff the call can be abstractly inlined."""
+        return all(c != N_ABLE for c in self.per_actual)
+
+
+@dataclass
+class CallStats:
+    """A Table 2 row: actual-parameter and call counts for one program."""
+
+    name: str
+    p_able: int = 0
+    r_able: int = 0
+    n_able: int = 0
+    calls_total: int = 0
+    calls_analysable: int = 0
+
+    @property
+    def actuals_total(self) -> int:
+        """All classified actual parameters."""
+        return self.p_able + self.r_able + self.n_able
+
+    def as_row(self) -> tuple:
+        """Row in Table 2 column order."""
+        return (
+            self.name,
+            self.p_able,
+            self.r_able,
+            self.n_able,
+            self.calls_total,
+            self.calls_analysable,
+        )
+
+
+def classify_call(call: Call, callee: Subroutine) -> CallClassification:
+    """Classify every actual of one call site."""
+    result = CallClassification(call)
+    if len(call.actuals) != len(callee.formals):
+        result.per_actual = [N_ABLE] * max(len(call.actuals), 1)
+        return result
+    for actual, formal in zip(call.actuals, callee.formals):
+        result.per_actual.append(classify_actual(actual, formal))
+    return result
+
+
+def classify_program(program: Program) -> CallStats:
+    """Compute the Table 2 statistics for one program.
+
+    Mirrors the paper's methodology: "these statistics are obtained by
+    examining only a call and its callee".
+    """
+    stats = CallStats(program.name)
+    for sub in program.subroutines.values():
+        for call in calls_of(sub.body):
+            stats.calls_total += 1
+            try:
+                callee = program.subroutine(call.callee)
+            except Exception:
+                stats.n_able += max(1, len(call.actuals))
+                continue
+            cc = classify_call(call, callee)
+            for label in cc.per_actual:
+                if label == P_ABLE:
+                    stats.p_able += 1
+                elif label == R_ABLE:
+                    stats.r_able += 1
+                else:
+                    stats.n_able += 1
+            if cc.analysable:
+                stats.calls_analysable += 1
+    return stats

@@ -1,0 +1,63 @@
+"""Program intermediate representation (the paper's program model, Section 3).
+
+The IR represents FORTRAN-style programs with regular computations:
+subroutines containing IF statements, CALL statements and arbitrarily nested
+DO loops, with affine loop bounds, affine subscripts and compile-time-known
+array shapes and base addresses.  Data-dependent constructs are excluded by
+construction (building them raises a typed error from :mod:`repro.errors`).
+"""
+
+from repro.ir.arrays import Array, ArrayView, Scalar, REAL8
+from repro.ir.builder import ProgramBuilder, SubroutineBuilder
+from repro.ir.nodes import (
+    Actual,
+    ActualArray,
+    ActualElement,
+    ActualExpr,
+    ActualScalar,
+    Call,
+    Formal,
+    If,
+    Loop,
+    Node,
+    Program,
+    Ref,
+    Statement,
+    Subroutine,
+    calls_of,
+    statements_of,
+    walk_nodes,
+)
+from repro.ir.printer import line_count, print_program, print_subroutine
+from repro.ir.stats import ProgramStats, program_stats
+
+__all__ = [
+    "Array",
+    "ArrayView",
+    "Scalar",
+    "REAL8",
+    "ProgramBuilder",
+    "SubroutineBuilder",
+    "Actual",
+    "ActualArray",
+    "ActualElement",
+    "ActualExpr",
+    "ActualScalar",
+    "Call",
+    "Formal",
+    "If",
+    "Loop",
+    "Node",
+    "Program",
+    "Ref",
+    "Statement",
+    "Subroutine",
+    "calls_of",
+    "statements_of",
+    "walk_nodes",
+    "line_count",
+    "print_program",
+    "print_subroutine",
+    "ProgramStats",
+    "program_stats",
+]

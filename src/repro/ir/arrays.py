@@ -1,0 +1,181 @@
+"""Arrays, array views and scalars of the program model.
+
+The paper analyses FORTRAN programs, so arrays are column-major and 1-based.
+The sizes of an array in all but the last dimension must be known statically
+(Section 3); the last dimension may be assumed-size (``*`` in FORTRAN,
+``None`` here), which is enough to compute addresses because the column-major
+stride of the last dimension never enters the address formula of earlier
+dimensions.
+
+:class:`ArrayView` implements the *renamed* actuals of abstract inlining
+(Fig. 5): a view shares the storage (base address) of a root array but is
+addressed with its own shape — exactly the ``B1``/``B2`` arrays of the paper,
+whose declarations "do not compile" but can be analysed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import LayoutError
+from repro.polyhedra.affine import Affine, AffineLike
+
+#: Default element size in bytes (``REAL*8``).
+REAL8 = 8
+
+
+class Array:
+    """A statically-declared column-major array.
+
+    Parameters
+    ----------
+    name:
+        The FORTRAN-style identifier.
+    dims:
+        Dimension extents; only the last may be ``None`` (assumed size).
+    element_size:
+        Bytes per element (default ``REAL*8`` = 8).
+    is_formal:
+        True for a formal parameter of a subroutine (no storage of its own;
+        the inliner rebinds references to it).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        dims: Sequence[Optional[int]],
+        element_size: int = REAL8,
+        is_formal: bool = False,
+    ):
+        dims = tuple(dims)
+        if not dims:
+            raise LayoutError(f"array {name} must have at least one dimension")
+        for k, d in enumerate(dims):
+            if d is None:
+                if k != len(dims) - 1:
+                    raise LayoutError(
+                        f"array {name}: only the last dimension may be assumed-size"
+                    )
+            elif not isinstance(d, int) or d <= 0:
+                raise LayoutError(
+                    f"array {name}: dimension {k + 1} must be a positive integer"
+                )
+        self.name = name
+        self.dims = dims
+        self.element_size = element_size
+        self.is_formal = is_formal
+
+    # -- geometry ---------------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return len(self.dims)
+
+    def strides(self) -> tuple[int, ...]:
+        """Column-major strides in *elements* (first dimension is contiguous)."""
+        strides = [1]
+        for d in self.dims[:-1]:
+            if d is None:
+                raise LayoutError(
+                    f"array {self.name}: assumed-size dimension has no stride"
+                )
+            strides.append(strides[-1] * d)
+        return tuple(strides)
+
+    def known_elements(self) -> Optional[int]:
+        """Total element count, or ``None`` for assumed-size arrays."""
+        total = 1
+        for d in self.dims:
+            if d is None:
+                return None
+            total *= d
+        return total
+
+    def element_offset(self, subscripts: Sequence[AffineLike]) -> Affine:
+        """Element offset of ``A(s1, …, sk)`` from the array base (1-based)."""
+        if len(subscripts) != self.ndim:
+            raise LayoutError(
+                f"array {self.name} has {self.ndim} dimensions, "
+                f"got {len(subscripts)} subscripts"
+            )
+        offset = Affine.const(0)
+        for sub, stride in zip(subscripts, self.strides()):
+            offset = offset + (Affine.coerce(sub) - 1) * stride
+        return offset
+
+    def storage(self) -> "Array":
+        """The root array owning the storage (``self`` for a plain array)."""
+        return self
+
+    def __getitem__(self, subscripts):
+        """Build a (read) reference: ``A[i, j]`` — sugar for the builder DSL."""
+        from repro.ir.nodes import Ref
+
+        if not isinstance(subscripts, tuple):
+            subscripts = (subscripts,)
+        return Ref(self, subscripts)
+
+    def __repr__(self) -> str:
+        dims = ", ".join("*" if d is None else str(d) for d in self.dims)
+        return f"{self.name}({dims})"
+
+
+class ArrayView(Array):
+    """A renamed window onto another array's storage (Fig. 5's ``B1``, ``B2``).
+
+    The view has its own shape (taken from the formal parameter declaration)
+    but its storage — hence its base address — is that of the root array the
+    actual parameter named.  Offsets of subscripted actuals are folded by the
+    inliner into the first subscript, which is address-exact because the
+    first dimension of a column-major array has unit stride.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        parent: Array,
+        dims: Sequence[Optional[int]],
+        element_size: Optional[int] = None,
+    ):
+        super().__init__(
+            name,
+            dims,
+            element_size if element_size is not None else parent.element_size,
+        )
+        self.parent = parent
+
+    def storage(self) -> Array:
+        """The root array owning the storage."""
+        return self.parent.storage()
+
+    def __repr__(self) -> str:
+        dims = ", ".join("*" if d is None else str(d) for d in self.dims)
+        return f"{self.name}({dims})@{self.storage().name}"
+
+
+class Scalar:
+    """A scalar variable.
+
+    Following the paper's prototype (the *Opts* component "allocates
+    variables to registers or memory"), scalars are register-allocated by
+    default and contribute no memory accesses; pass ``in_memory=True`` to
+    model a memory-resident scalar as a one-element array instead.
+    """
+
+    def __init__(self, name: str, element_size: int = REAL8, in_memory: bool = False):
+        self.name = name
+        self.element_size = element_size
+        self.in_memory = in_memory
+        self._backing: Optional[Array] = None
+
+    def backing_array(self) -> Array:
+        """The one-element array backing a memory-resident scalar."""
+        if not self.in_memory:
+            raise LayoutError(f"scalar {self.name} is register-allocated")
+        if self._backing is None:
+            self._backing = Array(self.name, (1,), self.element_size)
+        return self._backing
+
+    def __repr__(self) -> str:
+        return f"Scalar({self.name})"

@@ -1,0 +1,197 @@
+"""A fluent Python DSL for building programs in the paper's model.
+
+The kernels of Fig. 8 and the whole programs of Table 5 are written with this
+builder.  A small example — the subroutine of Fig. 1::
+
+    pb = ProgramBuilder("FOO", n=...)
+    A = pb.array("A", (N,))
+    B = pb.array("B", (N, N))
+    with pb.subroutine("MAIN"):
+        with pb.do("I1", 2, N) as i1:
+            pb.assign(A[i1 - 1])                       # S1
+            with pb.do("I2", i1, N) as i2:
+                pb.assign(B[i2 - 1, i1], A[i2 - 1])    # S2
+            with pb.do("I2", 1, N) as i2:
+                pb.read(B[i2, i1])                     # S3
+        with pb.do("I1", 1, N - 1) as i1:
+            pb.assign(A[i1 + 1])                       # S5
+    program = pb.build()
+
+Loop variables are ordinary :class:`~repro.polyhedra.affine.Var` expressions,
+array indexing builds references, and ``assign(lhs, *reads)`` records reads
+in order followed by the write — matching the access order the analysis and
+the simulator both use.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Sequence, Union
+
+from repro.errors import ReproError
+from repro.polyhedra.affine import Affine, AffineLike, Var
+from repro.polyhedra.constraints import Constraint, ConstraintSet
+from repro.ir.arrays import Array, Scalar
+from repro.ir.nodes import (
+    Actual,
+    ActualArray,
+    ActualElement,
+    ActualExpr,
+    ActualScalar,
+    Call,
+    If,
+    Loop,
+    Node,
+    Program,
+    Ref,
+    Statement,
+    Subroutine,
+)
+
+
+class ProgramBuilder:
+    """Builds a :class:`~repro.ir.nodes.Program` with nested ``with`` blocks."""
+
+    def __init__(self, name: str):
+        self.program = Program(name)
+        self._current_sub: Optional[Subroutine] = None
+        self._body_stack: list[list[Node]] = []
+        self._stmt_counter = 0
+
+    # -- declarations ------------------------------------------------------------
+
+    def array(self, name: str, dims: Sequence[int], element_size: int = 8) -> Array:
+        """Declare a global array."""
+        array = Array(name, dims, element_size)
+        self.program.global_arrays.append(array)
+        return array
+
+    def scalar(self, name: str, in_memory: bool = False) -> Scalar:
+        """Declare a (register-allocated by default) scalar."""
+        return Scalar(name, in_memory=in_memory)
+
+    # -- subroutine scope -----------------------------------------------------------
+
+    @contextmanager
+    def subroutine(self, name: str) -> Iterator["SubroutineBuilder"]:
+        """Open a subroutine scope; yields a :class:`SubroutineBuilder`."""
+        if self._current_sub is not None:
+            raise ReproError("subroutines cannot be nested")
+        sub = Subroutine(name)
+        self.program.add_subroutine(sub)
+        self._current_sub = sub
+        self._body_stack.append(sub.body)
+        try:
+            yield SubroutineBuilder(self, sub)
+        finally:
+            self._body_stack.pop()
+            self._current_sub = None
+
+    # -- structured statements ---------------------------------------------------------
+
+    def _emit(self, node: Node) -> None:
+        if not self._body_stack:
+            raise ReproError("statements must appear inside a subroutine")
+        self._body_stack[-1].append(node)
+
+    @contextmanager
+    def do(
+        self, var: str, lower: AffineLike, upper: AffineLike, step: int = 1
+    ) -> Iterator[Var]:
+        """Open a DO loop scope; yields the loop variable as an expression."""
+        loop = Loop(var, lower, upper, step=step)
+        self._emit(loop)
+        self._body_stack.append(loop.body)
+        try:
+            yield Var(var)
+        finally:
+            self._body_stack.pop()
+
+    @contextmanager
+    def if_(self, *conditions: Union[Constraint, ConstraintSet]) -> Iterator[None]:
+        """Open an IF scope guarded by the conjunction of ``conditions``."""
+        guard = ConstraintSet.true()
+        for c in conditions:
+            guard = guard.conjoin(c)
+        node = If(guard)
+        self._emit(node)
+        self._body_stack.append(node.body)
+        try:
+            yield None
+        finally:
+            self._body_stack.pop()
+
+    # -- leaf statements -------------------------------------------------------------------
+
+    def _next_label(self) -> str:
+        self._stmt_counter += 1
+        return f"S{self._stmt_counter}"
+
+    def assign(self, lhs: Ref, *reads: Ref, label: str = "") -> Statement:
+        """Emit ``lhs = f(reads…)``: reads in order, then the write of ``lhs``."""
+        stmt = Statement.assign(lhs, reads, label or self._next_label())
+        self._emit(stmt)
+        return stmt
+
+    def read(self, *reads: Ref, label: str = "") -> Statement:
+        """Emit a statement that only reads (e.g. ``… = B(I2, I1)``)."""
+        stmt = Statement(tuple(reads), label or self._next_label())
+        self._emit(stmt)
+        return stmt
+
+    def stmt(self, refs: Sequence[Ref], label: str = "") -> Statement:
+        """Emit a statement with an explicit reference access order."""
+        stmt = Statement(refs, label or self._next_label())
+        self._emit(stmt)
+        return stmt
+
+    def call(self, callee: str, *actuals) -> Call:
+        """Emit ``CALL callee(actuals…)``.
+
+        Actuals are classified automatically: an :class:`Array` is a whole
+        array, a :class:`Ref` is a subscripted element, a :class:`Scalar`
+        a scalar, and a string marks a non-analysable expression.
+        """
+        converted: list[Actual] = []
+        for a in actuals:
+            if isinstance(a, Actual):
+                converted.append(a)
+            elif isinstance(a, Array):
+                converted.append(ActualArray(a))
+            elif isinstance(a, Ref):
+                converted.append(ActualElement(a.array, a.subscripts))
+            elif isinstance(a, Scalar):
+                converted.append(ActualScalar(a))
+            elif isinstance(a, str):
+                converted.append(ActualExpr(a))
+            elif isinstance(a, (int, Affine)):
+                converted.append(ActualExpr(str(a)))
+            else:
+                raise ReproError(f"cannot pass {a!r} as an actual parameter")
+        node = Call(callee, converted)
+        self._emit(node)
+        return node
+
+    def build(self) -> Program:
+        """Return the completed program."""
+        return self.program
+
+
+class SubroutineBuilder:
+    """Scope handle yielded by :meth:`ProgramBuilder.subroutine`."""
+
+    def __init__(self, pb: ProgramBuilder, sub: Subroutine):
+        self._pb = pb
+        self.subroutine = sub
+
+    def scalar_formal(self, name: str) -> Scalar:
+        """Declare a scalar formal parameter."""
+        return self.subroutine.add_scalar_formal(name)
+
+    def array_formal(self, name: str, dims: Sequence[Optional[int]]) -> Array:
+        """Declare an array formal parameter (last dim may be ``None`` = ``*``)."""
+        return self.subroutine.add_array_formal(name, dims)
+
+    def local_array(self, name: str, dims: Sequence[int]) -> Array:
+        """Declare a local array with static storage."""
+        return self.subroutine.add_local_array(name, dims)

@@ -1,0 +1,343 @@
+"""IR nodes: references, statements, loops, IFs, calls, subroutines, programs.
+
+This is the structured program representation of Section 3 of the paper —
+subroutines made of possibly IF statements, CALL statements and arbitrarily
+nested loops, where every array subscript, loop bound and IF condition is an
+affine expression of the enclosing loop indices.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Optional, Sequence, Union
+
+from repro.errors import NonAffineError, UnknownSubroutineError
+from repro.polyhedra.affine import Affine, AffineLike
+from repro.polyhedra.constraints import ConstraintSet
+from repro.ir.arrays import Array, Scalar
+
+
+class Ref:
+    """A single array reference ``A(s1, …, sk)``, read or write."""
+
+    __slots__ = ("array", "subscripts", "is_write")
+
+    def __init__(
+        self, array: Array, subscripts: Sequence[AffineLike], is_write: bool = False
+    ):
+        if len(subscripts) != array.ndim:
+            raise NonAffineError(
+                f"reference to {array.name}: expected {array.ndim} subscripts, "
+                f"got {len(subscripts)}"
+            )
+        self.array = array
+        self.subscripts = tuple(Affine.coerce(s) for s in subscripts)
+        self.is_write = is_write
+
+    def as_write(self) -> "Ref":
+        """The same reference marked as a write."""
+        return Ref(self.array, self.subscripts, True)
+
+    def substitute(self, mapping: Mapping[str, AffineLike]) -> "Ref":
+        """Substitute loop variables in every subscript."""
+        return Ref(
+            self.array,
+            [s.substitute(mapping) for s in self.subscripts],
+            self.is_write,
+        )
+
+    def rename(self, mapping: Mapping[str, str]) -> "Ref":
+        """Rename loop variables in every subscript."""
+        return Ref(
+            self.array, [s.rename(mapping) for s in self.subscripts], self.is_write
+        )
+
+    def rebind(self, array: Array, subscripts: Sequence[AffineLike]) -> "Ref":
+        """A reference to a different array with new subscripts (inlining)."""
+        return Ref(array, subscripts, self.is_write)
+
+    def variables(self) -> frozenset[str]:
+        """Loop variables appearing in the subscripts."""
+        names: set[str] = set()
+        for s in self.subscripts:
+            names |= s.variables()
+        return frozenset(names)
+
+    def __repr__(self) -> str:
+        subs = ", ".join(map(str, self.subscripts))
+        mark = "=W" if self.is_write else ""
+        return f"{self.array.name}({subs}){mark}"
+
+
+class Statement:
+    """An executable statement with its memory references in access order.
+
+    For an assignment ``lhs = rhs`` the references are the reads of the
+    right-hand side in source order followed by the write of the left-hand
+    side — the "relative access order of memory references" the paper takes
+    from its load/store-level IR.
+    """
+
+    __slots__ = ("label", "refs")
+
+    def __init__(self, refs: Sequence[Ref], label: str = ""):
+        self.refs = tuple(refs)
+        self.label = label
+
+    @staticmethod
+    def assign(write: Ref, reads: Sequence[Ref] = (), label: str = "") -> "Statement":
+        """An assignment: reads in order, then the write."""
+        return Statement(tuple(reads) + (write.as_write(),), label)
+
+    def substitute(self, mapping: Mapping[str, AffineLike]) -> "Statement":
+        """Substitute loop variables in every reference."""
+        return Statement([r.substitute(mapping) for r in self.refs], self.label)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Statement":
+        """Rename loop variables in every reference."""
+        return Statement([r.rename(mapping) for r in self.refs], self.label)
+
+    def __repr__(self) -> str:
+        name = self.label or "S"
+        return f"{name}:{list(self.refs)!r}"
+
+
+class Loop:
+    """A DO loop with affine bounds and a constant integer step."""
+
+    __slots__ = ("var", "lower", "upper", "step", "body")
+
+    def __init__(
+        self,
+        var: str,
+        lower: AffineLike,
+        upper: AffineLike,
+        body: Sequence["Node"] = (),
+        step: int = 1,
+    ):
+        if not isinstance(step, int) or step == 0:
+            raise NonAffineError(f"loop {var}: step must be a non-zero integer")
+        self.var = var
+        self.lower = Affine.coerce(lower)
+        self.upper = Affine.coerce(upper)
+        self.step = step
+        self.body = list(body)
+
+    def __repr__(self) -> str:
+        s = f", {self.step}" if self.step != 1 else ""
+        return f"DO {self.var} = {self.lower}, {self.upper}{s} [{len(self.body)} items]"
+
+
+class If:
+    """A guarded block: the conjunction ``guard`` must hold for the body.
+
+    The paper's model requires conditions to be analysable at compile time
+    (expressions of loop indices and constants); we represent them as
+    conjunctions of affine equalities/inequalities.
+    """
+
+    __slots__ = ("guard", "body")
+
+    def __init__(self, guard: ConstraintSet, body: Sequence["Node"] = ()):
+        self.guard = guard
+        self.body = list(body)
+
+    def __repr__(self) -> str:
+        return f"IF {self.guard!r} [{len(self.body)} items]"
+
+
+class Actual:
+    """Base class of actual parameters at a call site."""
+
+    __slots__ = ()
+
+
+class ActualArray(Actual):
+    """A whole-array actual: ``CALL f(..., A, ...)``."""
+
+    __slots__ = ("array",)
+
+    def __init__(self, array: Array):
+        self.array = array
+
+    def __repr__(self) -> str:
+        return self.array.name
+
+
+class ActualElement(Actual):
+    """A subscripted actual with an affine access: ``CALL f(..., A(i,j), ...)``."""
+
+    __slots__ = ("array", "subscripts")
+
+    def __init__(self, array: Array, subscripts: Sequence[AffineLike]):
+        self.array = array
+        self.subscripts = tuple(Affine.coerce(s) for s in subscripts)
+
+    def __repr__(self) -> str:
+        return f"{self.array.name}({', '.join(map(str, self.subscripts))})"
+
+
+class ActualScalar(Actual):
+    """A scalar variable actual."""
+
+    __slots__ = ("scalar",)
+
+    def __init__(self, scalar: Scalar):
+        self.scalar = scalar
+
+    def __repr__(self) -> str:
+        return self.scalar.name
+
+
+class ActualExpr(Actual):
+    """A non-analysable actual (general expression, indirection, …)."""
+
+    __slots__ = ("text",)
+
+    def __init__(self, text: str = "<expr>"):
+        self.text = text
+
+    def __repr__(self) -> str:
+        return self.text
+
+
+class Call:
+    """A CALL statement."""
+
+    __slots__ = ("callee", "actuals")
+
+    def __init__(self, callee: str, actuals: Sequence[Actual] = ()):
+        self.callee = callee
+        self.actuals = list(actuals)
+
+    def __repr__(self) -> str:
+        return f"CALL {self.callee}({', '.join(map(repr, self.actuals))})"
+
+
+Node = Union[Loop, If, Statement, Call]
+
+
+class Formal:
+    """A formal parameter declaration of a subroutine."""
+
+    __slots__ = ("name", "array", "scalar")
+
+    def __init__(self, name: str, array: Optional[Array], scalar: Optional[Scalar]):
+        self.name = name
+        self.array = array
+        self.scalar = scalar
+
+    @property
+    def is_scalar(self) -> bool:
+        """True for a scalar formal."""
+        return self.scalar is not None
+
+    def __repr__(self) -> str:
+        return f"Formal({self.name})"
+
+
+class Subroutine:
+    """A subroutine: formals, local arrays and a body of IR nodes."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.formals: list[Formal] = []
+        self.local_arrays: list[Array] = []
+        self.body: list[Node] = []
+
+    def add_scalar_formal(self, name: str) -> Scalar:
+        """Declare a scalar formal parameter."""
+        scalar = Scalar(name)
+        self.formals.append(Formal(name, None, scalar))
+        return scalar
+
+    def add_array_formal(self, name: str, dims: Sequence[Optional[int]]) -> Array:
+        """Declare an array formal parameter."""
+        array = Array(name, dims, is_formal=True)
+        self.formals.append(Formal(name, array, None))
+        return array
+
+    def add_local_array(self, name: str, dims: Sequence[int]) -> Array:
+        """Declare a local array (static storage, as in FORTRAN SAVE)."""
+        array = Array(name, dims)
+        self.local_arrays.append(array)
+        return array
+
+    def formal_by_name(self, name: str) -> Formal:
+        """Look up a formal by name."""
+        for f in self.formals:
+            if f.name == name:
+                return f
+        raise KeyError(f"subroutine {self.name} has no formal {name!r}")
+
+    def __repr__(self) -> str:
+        return f"Subroutine({self.name}, {len(self.formals)} formals)"
+
+
+class Program:
+    """A whole program: global arrays plus a set of subroutines.
+
+    Global arrays model FORTRAN COMMON blocks / main-program arrays whose
+    base addresses are known at compile time, which the paper requires for
+    its miss equations to be solvable.
+    """
+
+    def __init__(self, name: str, entry: str = "MAIN"):
+        self.name = name
+        self.entry = entry
+        self.global_arrays: list[Array] = []
+        self.subroutines: dict[str, Subroutine] = {}
+
+    def add_global_array(self, name: str, dims: Sequence[int]) -> Array:
+        """Declare a global (COMMON-style) array."""
+        array = Array(name, dims)
+        self.global_arrays.append(array)
+        return array
+
+    def add_subroutine(self, sub: Subroutine) -> Subroutine:
+        """Register a subroutine."""
+        self.subroutines[sub.name] = sub
+        return sub
+
+    def subroutine(self, name: str) -> Subroutine:
+        """Look up a subroutine by name."""
+        try:
+            return self.subroutines[name]
+        except KeyError:
+            raise UnknownSubroutineError(name) from None
+
+    @property
+    def main(self) -> Subroutine:
+        """The entry subroutine."""
+        return self.subroutine(self.entry)
+
+    def all_arrays(self) -> list[Array]:
+        """Every root array with storage, in declaration order."""
+        arrays = list(self.global_arrays)
+        for sub in self.subroutines.values():
+            arrays.extend(sub.local_arrays)
+        return arrays
+
+    def __repr__(self) -> str:
+        return f"Program({self.name}, {len(self.subroutines)} subroutines)"
+
+
+def walk_nodes(body: Iterable[Node]) -> Iterator[Node]:
+    """Yield every node of a body, depth first, in source order."""
+    for node in body:
+        yield node
+        if isinstance(node, (Loop, If)):
+            yield from walk_nodes(node.body)
+
+
+def statements_of(body: Iterable[Node]) -> Iterator[Statement]:
+    """Yield every :class:`Statement` of a body, depth first."""
+    for node in walk_nodes(body):
+        if isinstance(node, Statement):
+            yield node
+
+
+def calls_of(body: Iterable[Node]) -> Iterator[Call]:
+    """Yield every :class:`Call` of a body, depth first."""
+    for node in walk_nodes(body):
+        if isinstance(node, Call):
+            yield node

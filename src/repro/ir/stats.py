@@ -1,0 +1,51 @@
+"""Whole-program statistics — the metrics of Table 5 of the paper.
+
+Table 5 characterises the analysed programs by ``#lines``, ``#subroutines``,
+``#call-statements`` and ``#references``.  :func:`program_stats` computes the
+same four numbers for any IR program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.nodes import Program, calls_of, statements_of
+from repro.ir.printer import line_count
+
+
+@dataclass(frozen=True)
+class ProgramStats:
+    """The Table 5 row for one program."""
+
+    name: str
+    lines: int
+    subroutines: int
+    call_statements: int
+    references: int
+
+    def as_row(self) -> tuple[str, int, int, int, int]:
+        """The row in Table 5 column order."""
+        return (
+            self.name,
+            self.lines,
+            self.subroutines,
+            self.call_statements,
+            self.references,
+        )
+
+
+def program_stats(program: Program) -> ProgramStats:
+    """Compute the Table 5 statistics for ``program``."""
+    n_calls = 0
+    n_refs = 0
+    for sub in program.subroutines.values():
+        n_calls += sum(1 for _ in calls_of(sub.body))
+        for stmt in statements_of(sub.body):
+            n_refs += len(stmt.refs)
+    return ProgramStats(
+        name=program.name,
+        lines=line_count(program),
+        subroutines=len(program.subroutines),
+        call_statements=n_calls,
+        references=n_refs,
+    )

@@ -1,0 +1,25 @@
+"""Iteration vectors, positions and the access-order walker (Section 3.2)."""
+
+from repro.iteration.position import (
+    IterVec,
+    Position,
+    interleave,
+    lex_nonnegative,
+    lex_positive,
+    split,
+    subtract,
+)
+from repro.iteration.walker import CompiledRef, Walker, compile_affine
+
+__all__ = [
+    "IterVec",
+    "Position",
+    "interleave",
+    "lex_nonnegative",
+    "lex_positive",
+    "split",
+    "subtract",
+    "CompiledRef",
+    "Walker",
+    "compile_affine",
+]

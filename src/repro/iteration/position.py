@@ -1,0 +1,63 @@
+"""Iteration vectors and access positions (Section 3.2 of the paper).
+
+An *iteration vector* is the 2n-dimensional interleaving
+``(ℓ1, I1, ℓ2, I2, …, ℓn, In)`` of the loop label and the loop indices; the
+paper's key property is that lexicographic order on these vectors is exactly
+global execution order across *multiple* nests.
+
+Within one iteration of an innermost loop, several references execute; their
+relative order is the *lexical position* (the access order the paper obtains
+from its load/store-level IR).  A :class:`Position` — an
+``(iteration vector, lexical position)`` pair ordered lexicographically —
+therefore totally orders every memory access of the program.  This is the
+precise form of the ``≪``/``≫`` bracket rules of the interference sets
+(Section 4.1.2): whether an end point of a reuse window is open or closed
+falls out of comparing full positions strictly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+IterVec = tuple[int, ...]
+Position = tuple[IterVec, int]
+
+
+def interleave(label: Sequence[int], index: Sequence[int]) -> IterVec:
+    """Build ``(ℓ1, I1, …, ℓn, In)`` from a label and an index vector."""
+    if len(label) != len(index):
+        raise ValueError("label and index vectors must have equal length")
+    ivec: list[int] = []
+    for l, i in zip(label, index):
+        ivec.append(l)
+        ivec.append(i)
+    return tuple(ivec)
+
+
+def split(ivec: IterVec) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Split an interleaved iteration vector back into ``(label, index)``."""
+    if len(ivec) % 2:
+        raise ValueError("iteration vectors have even length")
+    return tuple(ivec[0::2]), tuple(ivec[1::2])
+
+
+def subtract(ivec: IterVec, reuse: Sequence[int]) -> IterVec:
+    """``ivec − r``: the producer point of a consumer along reuse vector r."""
+    if len(ivec) != len(reuse):
+        raise ValueError("vector length mismatch")
+    return tuple(a - b for a, b in zip(ivec, reuse))
+
+
+def lex_nonnegative(vec: Sequence[int]) -> bool:
+    """True if ``vec ⪰ 0`` in lexicographic order (the reuse direction test)."""
+    for c in vec:
+        if c > 0:
+            return True
+        if c < 0:
+            return False
+    return True
+
+
+def lex_positive(vec: Sequence[int]) -> bool:
+    """True if ``vec ≻ 0`` (strictly) in lexicographic order."""
+    return lex_nonnegative(vec) and any(c != 0 for c in vec)

@@ -1,0 +1,300 @@
+"""The access-order walker: one oracle for simulator and miss equations.
+
+The walker compiles a :class:`~repro.normalize.NormalizedProgram` plus a
+:class:`~repro.layout.MemoryLayout` into a lightweight tree of evaluable
+bounds, guards and address polynomials, and then enumerates memory accesses
+in exact execution order:
+
+* :meth:`Walker.walk` visits *every* access — this drives the trace-driven
+  cache simulator (the paper's validation baseline);
+* :meth:`Walker.walk_between` visits only the accesses strictly between two
+  :data:`~repro.iteration.position.Position` s — this is the interference
+  window ``J`` of the replacement equations (Section 4.1.2), whose cost is
+  proportional to the reuse distance rather than to the whole trace.  That
+  asymmetry is precisely why ``EstimateMisses`` beats simulation.
+
+Because both consumers share this single enumeration, the analytical model
+and the simulator are guaranteed to agree on the access order — the property
+that lets ``FindMisses`` match simulation exactly (Table 3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.errors import AnalysisError
+from repro.polyhedra.affine import Affine
+from repro.polyhedra.constraints import EQ
+from repro.layout.memory import MemoryLayout
+from repro.normalize.nprogram import NLeaf, NLoop, NormalizedProgram, NRef
+from repro.iteration.position import Position
+
+Visit = Callable[["CompiledRef", int], bool]
+
+
+class CompiledAffine:
+    """An affine expression compiled to ``const + Σ coeff·idx[dim]``."""
+
+    __slots__ = ("const", "terms")
+
+    def __init__(self, const: int, terms: tuple[tuple[int, int], ...]):
+        self.const = const
+        self.terms = terms
+
+    def eval(self, idx: Sequence[int]) -> int:
+        """Evaluate at an index vector (0-based positions)."""
+        v = self.const
+        for d, c in self.terms:
+            v += c * idx[d]
+        return v
+
+
+def compile_affine(expr: Affine, depth: int) -> CompiledAffine:
+    """Compile an affine expression over the canonical variables ``I1..In``."""
+    terms = []
+    for name, coeff in expr.coeffs.items():
+        if not name.startswith("I"):
+            raise AnalysisError(f"unexpected variable {name!r} in {expr}")
+        d = int(name[1:]) - 1
+        if not 0 <= d < depth:
+            raise AnalysisError(f"variable {name!r} out of depth {depth}")
+        terms.append((d, coeff))
+    return CompiledAffine(expr.constant, tuple(terms))
+
+
+class CompiledRef:
+    """A reference with its byte-address polynomial."""
+
+    __slots__ = ("nref", "lexpos", "addr")
+
+    def __init__(self, nref: NRef, addr: CompiledAffine):
+        self.nref = nref
+        self.lexpos = nref.lexpos
+        self.addr = addr
+
+    def address_at(self, idx: Sequence[int]) -> int:
+        """Byte address accessed at index vector ``idx``."""
+        return self.addr.eval(idx)
+
+    def __repr__(self) -> str:
+        return f"CompiledRef({self.nref.name()})"
+
+
+class _CLeaf:
+    __slots__ = ("guard", "refs")
+
+    def __init__(self, guard, refs):
+        self.guard = guard  # tuple[(is_eq, CompiledAffine)]
+        self.refs = refs  # tuple[CompiledRef]
+
+
+class _CLoop:
+    __slots__ = ("depth", "ordinal", "lb", "ub", "loops", "leaves", "pos")
+
+    def __init__(self, depth, ordinal, lb, ub, loops, leaves):
+        self.depth = depth
+        self.ordinal = ordinal
+        self.lb = lb
+        self.ub = ub
+        self.loops = loops
+        self.leaves = leaves
+        self.pos = 2 * (depth - 1)  # position of the label component in ivec
+
+
+class Walker:
+    """Compiled access-order enumerator for a normalised program."""
+
+    def __init__(self, nprog: NormalizedProgram, layout: MemoryLayout):
+        self.nprog = nprog
+        self.layout = layout
+        self._crefs: dict[int, CompiledRef] = {}
+        self.roots = tuple(self._compile_loop(r) for r in nprog.roots)
+
+    # -- compilation -------------------------------------------------------------
+
+    def _compile_ref(self, nref: NRef) -> CompiledRef:
+        array = nref.array
+        base = self.layout.base_of(array)
+        offset = array.element_offset(nref.subscripts)
+        addr_expr = offset * array.element_size + base
+        cref = CompiledRef(nref, compile_affine(addr_expr, self.nprog.depth))
+        self._crefs[nref.uid] = cref
+        return cref
+
+    def _compile_leaf(self, leaf: NLeaf) -> _CLeaf:
+        guard = tuple(
+            (c.kind == EQ, compile_affine(c.expr, self.nprog.depth))
+            for c in leaf.guard
+        )
+        refs = tuple(self._compile_ref(r) for r in leaf.refs)
+        return _CLeaf(guard, refs)
+
+    def _compile_loop(self, loop: NLoop) -> _CLoop:
+        n = self.nprog.depth
+        return _CLoop(
+            loop.depth,
+            loop.ordinal,
+            compile_affine(loop.lower, n),
+            compile_affine(loop.upper, n),
+            tuple(self._compile_loop(c) for c in loop.loops),
+            tuple(self._compile_leaf(l) for l in loop.leaves),
+        )
+
+    def compiled_ref(self, nref: NRef) -> CompiledRef:
+        """The compiled form of a reference (for address queries)."""
+        return self._crefs[nref.uid]
+
+    def address_of(self, nref: NRef, index: Sequence[int]) -> int:
+        """Byte address of ``nref`` at index vector ``index``."""
+        return self._crefs[nref.uid].address_at(index)
+
+    # -- full walk ----------------------------------------------------------------
+
+    def walk(self, visit: Visit) -> bool:
+        """Visit every access in execution order.
+
+        ``visit(cref, address)`` returning truthy stops the walk; the method
+        returns True iff it was stopped.
+        """
+        idx = [0] * self.nprog.depth
+        for root in self.roots:
+            if self._walk(root, idx, visit):
+                return True
+        return False
+
+    def _walk(self, cloop: _CLoop, idx: list[int], visit: Visit) -> bool:
+        lb = cloop.lb.eval(idx)
+        ub = cloop.ub.eval(idx)
+        d = cloop.depth - 1
+        if cloop.leaves:
+            leaves = cloop.leaves
+            for i in range(lb, ub + 1):
+                idx[d] = i
+                for leaf in leaves:
+                    satisfied = True
+                    for is_eq, ca in leaf.guard:
+                        v = ca.eval(idx)
+                        if (v != 0) if is_eq else (v < 0):
+                            satisfied = False
+                            break
+                    if not satisfied:
+                        continue
+                    for cr in leaf.refs:
+                        if visit(cr, cr.addr.eval(idx)):
+                            return True
+        else:
+            for i in range(lb, ub + 1):
+                idx[d] = i
+                for child in cloop.loops:
+                    if self._walk(child, idx, visit):
+                        return True
+        return False
+
+    # -- windowed walk ----------------------------------------------------------------
+
+    def walk_between(
+        self, lo: Optional[Position], hi: Optional[Position], visit: Visit
+    ) -> None:
+        """Visit the accesses with position strictly between ``lo`` and ``hi``.
+
+        ``lo``/``hi`` are ``(iteration_vector, lexical_position)`` pairs; a
+        ``None`` end is unbounded.  Both ends are exclusive — the paper's
+        open/closed bracket rules for interference sets reduce to exactly
+        this strict comparison of full access positions.
+        """
+        idx = [0] * self.nprog.depth
+        self._lo = lo
+        self._hi = hi
+        for root in self.roots:
+            if self._walk_b(root, idx, lo is not None, hi is not None, visit):
+                return
+
+    def _walk_b(
+        self, cloop: _CLoop, idx: list[int], tlo: bool, thi: bool, visit: Visit
+    ) -> bool:
+        """Returns True to terminate the entire walk (visitor stop or past hi)."""
+        if not (tlo or thi):
+            return self._walk(cloop, idx, visit)
+        pos = cloop.pos
+        lo, hi = self._lo, self._hi
+        if tlo:
+            c = lo[0][pos]
+            if cloop.ordinal < c:
+                return False  # whole subtree before lo; try later siblings
+            tlo = cloop.ordinal == c
+        if thi:
+            c = hi[0][pos]
+            if cloop.ordinal > c:
+                return True  # whole subtree (and everything later) after hi
+            thi = cloop.ordinal == c
+        lb = cloop.lb.eval(idx)
+        ub = cloop.ub.eval(idx)
+        d = cloop.depth - 1
+        start, end = lb, ub
+        if tlo and lo[0][pos + 1] > start:
+            start = lo[0][pos + 1]
+        if thi and hi[0][pos + 1] < end:
+            end = hi[0][pos + 1]
+        innermost = bool(cloop.leaves)
+        for i in range(start, end + 1):
+            t_lo_i = tlo and i == lo[0][pos + 1]
+            t_hi_i = thi and i == hi[0][pos + 1]
+            idx[d] = i
+            if innermost:
+                at_lo = t_lo_i  # full iteration vector equals lo's
+                at_hi = t_hi_i
+                lo_lex = lo[1] if at_lo else -1
+                hi_lex = hi[1] if at_hi else None
+                for leaf in cloop.leaves:
+                    satisfied = True
+                    for is_eq, ca in leaf.guard:
+                        v = ca.eval(idx)
+                        if (v != 0) if is_eq else (v < 0):
+                            satisfied = False
+                            break
+                    if not satisfied:
+                        continue
+                    for cr in leaf.refs:
+                        if cr.lexpos <= lo_lex:
+                            continue
+                        if hi_lex is not None and cr.lexpos >= hi_lex:
+                            return True  # reached hi: nothing later qualifies
+                        if visit(cr, cr.addr.eval(idx)):
+                            return True
+            else:
+                for child in cloop.loops:
+                    if not (t_lo_i or t_hi_i):
+                        if self._walk(child, idx, visit):
+                            return True
+                    elif self._walk_b(child, idx, t_lo_i, t_hi_i, visit):
+                        return True
+        return False
+
+    # -- specialised window queries ------------------------------------------------------
+
+    def distinct_conflicts_reach(
+        self,
+        lo: Position,
+        hi: Position,
+        target_set: int,
+        reused_line: int,
+        k: int,
+        line_bytes: int,
+        num_sets: int,
+    ) -> bool:
+        """True iff ≥ ``k`` *distinct* memory lines other than ``reused_line``
+        map to ``target_set`` among the accesses strictly between ``lo`` and
+        ``hi`` — the replacement condition of Section 4.1.2 for a ``k``-way
+        LRU cache.
+        """
+        found: set[int] = set()
+
+        def visit(cr: CompiledRef, addr: int) -> bool:
+            line = addr // line_bytes
+            if line != reused_line and line % num_sets == target_set:
+                found.add(line)
+                return len(found) >= k
+            return False
+
+        self.walk_between(lo, hi, visit)
+        return len(found) >= k

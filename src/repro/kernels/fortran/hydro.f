@@ -1,0 +1,36 @@
+C     Hydro -- 2-D explicit hydrodynamics (Livermore kernel 18)
+C     Transcribed from Fig. 8 of Vera & Xue, HPCA 2002.
+      PROGRAM HYDRO
+      PARAMETER (JN=100, KN=100)
+      REAL*8 ZA, ZP, ZQ, ZR, ZM, ZB, ZU, ZV, ZZ
+      DIMENSION ZA(JN+1,KN+1), ZP(JN+1,KN+1), ZQ(JN+1,KN+1)
+      DIMENSION ZR(JN+1,KN+1), ZM(JN+1,KN+1)
+      DIMENSION ZB(JN+1,KN+1), ZU(JN+1,KN+1), ZV(JN+1,KN+1)
+      DIMENSION ZZ(JN+1,KN+1)
+      T = 0.003700D0
+      S = 0.004100D0
+      DO K = 2, KN
+        DO J = 2, JN
+          ZA(J,K) = (ZP(J-1,K+1) + ZQ(J-1,K+1) - ZP(J-1,K) - ZQ(J-1,K))
+     &      * (ZR(J,K) + ZR(J-1,K)) / (ZM(J-1,K) + ZM(J-1,K+1))
+          ZB(J,K) = (ZP(J-1,K) + ZQ(J-1,K) - ZP(J,K) - ZQ(J,K))
+     &      * (ZR(J,K) + ZR(J,K-1)) / (ZM(J,K) + ZM(J-1,K))
+        ENDDO
+      ENDDO
+      DO K = 2, KN
+        DO J = 2, JN
+          ZU(J,K) = ZU(J,K) + S*(ZA(J,K)*(ZZ(J,K) - ZZ(J+1,K))
+     &      - ZA(J-1,K)*(ZZ(J-1,K))
+     &      - ZB(J,K)*(ZZ(J,K-1)) + ZB(J,K+1)*(ZZ(J,K+1)))
+          ZV(J,K) = ZV(J,K) + S*(ZA(J,K)*(ZR(J,K) - ZR(J+1,K))
+     &      - ZA(J-1,K)*(ZR(J-1,K))
+     &      - ZB(J,K)*(ZR(J,K-1)) + ZB(J,K+1)*(ZR(J,K+1)))
+        ENDDO
+      ENDDO
+      DO K = 2, KN
+        DO J = 2, JN
+          ZR(J,K) = ZR(J,K) + T*ZU(J,K)
+          ZZ(J,K) = ZZ(J,K) + T*ZV(J,K)
+        ENDDO
+      ENDDO
+      END

@@ -1,0 +1,29 @@
+C     MGRID -- 3-D interpolation loop nest from SPECfp95 MGRID
+C     Transcribed from Fig. 8 of Vera & Xue, HPCA 2002 (labelled-DO form;
+C     U is dimensioned on the fine grid, see DESIGN.md).
+      PROGRAM MGRID
+      PARAMETER (M=100, MF=199)
+      REAL*8 U, Z
+      DIMENSION U(MF,MF,MF), Z(M,M,M)
+      DO 400 I3 = 2, M-1
+        DO 200 I2 = 2, M-1
+          DO 100 I1 = 2, M-1
+            U(2*I1-1,2*I2-1,2*I3-1) = U(2*I1-1,2*I2-1,2*I3-1)
+     &        + Z(I1,I2,I3)
+100       CONTINUE
+          DO 200 I1 = 2, M-1
+            U(2*I1-2,2*I2-1,2*I3-1) = U(2*I1-2,2*I2-1,2*I3-1)
+     &        + 0.5D0*(Z(I1-1,I2,I3) + Z(I1,I2,I3))
+200     CONTINUE
+        DO 400 I2 = 2, M-1
+          DO 300 I1 = 2, M-1
+            U(2*I1-1,2*I2-2,2*I3-1) = U(2*I1-1,2*I2-2,2*I3-1)
+     &        + 0.5D0*(Z(I1,I2-1,I3) + Z(I1,I2,I3))
+300       CONTINUE
+          DO 400 I1 = 2, M-1
+            U(2*I1-2,2*I2-2,2*I3-1) = U(2*I1-2,2*I2-2,2*I3-1)
+     &        + 0.25D0*(Z(I1-1,I2-1,I3) + Z(I1-1,I2,I3)
+     &        + Z(I1,I2-1,I3) + Z(I1,I2,I3))
+400   CONTINUE
+      STOP
+      END

@@ -1,0 +1,25 @@
+C     MMT -- 3-D blocked matrix multiplication D = A * B**T
+C     Transcribed from Fig. 8 of Vera & Xue, HPCA 2002.
+      PROGRAM MMT
+      PARAMETER (N=100, BJ=100, BK=50)
+      REAL*8 A, B, D, WB
+      DIMENSION A(N,N), B(N,N), D(N,N), WB(N,N)
+      DO J2 = 1, N, BJ
+        DO K2 = 1, N, BK
+          DO J = J2, J2+BJ-1
+            DO K = K2, K2+BK-1
+              WB(J-J2+1,K-K2+1) = B(K,J)
+            ENDDO
+          ENDDO
+          DO I = 1, N
+            DO K = K2, K2+BK-1
+              RA = A(I,K)
+              DO J = J2, J2+BJ-1
+                D(I,J) = D(I,J) + WB(J-J2+1,K-K2+1)*RA
+              ENDDO
+            ENDDO
+          ENDDO
+        ENDDO
+      ENDDO
+      STOP
+      END

@@ -1,0 +1,88 @@
+"""Hydro — 2-D explicit hydrodynamics fragment, Livermore kernel 18 (Fig. 8).
+
+Three consecutive ``(k, j)`` nests over nine ``(JN+1) × (KN+1)`` REAL*8
+arrays, exactly as the paper's figure.  Table 3 evaluates this kernel with
+KN = JN = 100; the builders accept any size so the benches can run scaled
+down.
+"""
+
+from __future__ import annotations
+
+from repro.ir import Program, ProgramBuilder
+
+
+def build_hydro(jn: int = 100, kn: int = 100) -> Program:
+    """Build the Hydro kernel for grid sizes ``jn``/``kn``."""
+    pb = ProgramBuilder("HYDRO")
+    dims = (jn + 1, kn + 1)
+    za = pb.array("ZA", dims)
+    zp = pb.array("ZP", dims)
+    zq = pb.array("ZQ", dims)
+    zr = pb.array("ZR", dims)
+    zm = pb.array("ZM", dims)
+    zb = pb.array("ZB", dims)
+    zu = pb.array("ZU", dims)
+    zv = pb.array("ZV", dims)
+    zz = pb.array("ZZ", dims)
+    with pb.subroutine("MAIN"):
+        with pb.do("K", 2, kn) as k:
+            with pb.do("J", 2, jn) as j:
+                pb.assign(
+                    za[j, k],
+                    zp[j - 1, k + 1],
+                    zq[j - 1, k + 1],
+                    zp[j - 1, k],
+                    zq[j - 1, k],
+                    zr[j, k],
+                    zr[j - 1, k],
+                    zm[j - 1, k],
+                    zm[j - 1, k + 1],
+                    label="H1",
+                )
+                pb.assign(
+                    zb[j, k],
+                    zp[j - 1, k],
+                    zq[j - 1, k],
+                    zp[j, k],
+                    zq[j, k],
+                    zr[j, k],
+                    zr[j, k - 1],
+                    zm[j, k],
+                    zm[j - 1, k],
+                    label="H2",
+                )
+        with pb.do("K", 2, kn) as k:
+            with pb.do("J", 2, jn) as j:
+                pb.assign(
+                    zu[j, k],
+                    zu[j, k],
+                    za[j, k],
+                    zz[j, k],
+                    zz[j + 1, k],
+                    za[j - 1, k],
+                    zz[j - 1, k],
+                    zb[j, k],
+                    zz[j, k - 1],
+                    zb[j, k + 1],
+                    zz[j, k + 1],
+                    label="H3",
+                )
+                pb.assign(
+                    zv[j, k],
+                    zv[j, k],
+                    za[j, k],
+                    zr[j, k],
+                    zr[j + 1, k],
+                    za[j - 1, k],
+                    zr[j - 1, k],
+                    zb[j, k],
+                    zr[j, k - 1],
+                    zb[j, k + 1],
+                    zr[j, k + 1],
+                    label="H4",
+                )
+        with pb.do("K", 2, kn) as k:
+            with pb.do("J", 2, jn) as j:
+                pb.assign(zr[j, k], zr[j, k], zu[j, k], label="H5")
+                pb.assign(zz[j, k], zz[j, k], zv[j, k], label="H6")
+    return pb.build()

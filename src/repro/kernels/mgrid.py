@@ -1,0 +1,58 @@
+"""MGRID — the 3-D interpolation loop nest from SPECfp95 MGRID (Fig. 8).
+
+An imperfect three-deep nest: the coarse grid ``Z(M, M, M)`` is prolonged
+onto the fine grid ``U``.  Fig. 8 declares ``U(M, M, M)``, but the fine-grid
+subscripts ``2·I−1`` reach up to ``2M−3``; the real MGRID dimensions the
+fine grid ``(2M−1)³``, so we do the same — otherwise U's accesses would run
+off the end of its storage into the next array (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from repro.ir import Program, ProgramBuilder
+
+
+def build_mgrid(m: int = 100) -> Program:
+    """Build the MGRID interpolation nest for coarse-grid size ``m``."""
+    pb = ProgramBuilder("MGRID")
+    fine = 2 * m - 1
+    u = pb.array("U", (fine, fine, fine))
+    z = pb.array("Z", (m, m, m))
+    with pb.subroutine("MAIN"):
+        with pb.do("I3", 2, m - 1) as i3:
+            with pb.do("I2", 2, m - 1) as i2:
+                with pb.do("I1", 2, m - 1) as i1:
+                    pb.assign(
+                        u[2 * i1 - 1, 2 * i2 - 1, 2 * i3 - 1],
+                        u[2 * i1 - 1, 2 * i2 - 1, 2 * i3 - 1],
+                        z[i1, i2, i3],
+                        label="M1",
+                    )
+                with pb.do("I1", 2, m - 1) as i1:
+                    pb.assign(
+                        u[2 * i1 - 2, 2 * i2 - 1, 2 * i3 - 1],
+                        u[2 * i1 - 2, 2 * i2 - 1, 2 * i3 - 1],
+                        z[i1 - 1, i2, i3],
+                        z[i1, i2, i3],
+                        label="M2",
+                    )
+            with pb.do("I2", 2, m - 1) as i2:
+                with pb.do("I1", 2, m - 1) as i1:
+                    pb.assign(
+                        u[2 * i1 - 1, 2 * i2 - 2, 2 * i3 - 1],
+                        u[2 * i1 - 1, 2 * i2 - 2, 2 * i3 - 1],
+                        z[i1, i2 - 1, i3],
+                        z[i1, i2, i3],
+                        label="M3",
+                    )
+                with pb.do("I1", 2, m - 1) as i1:
+                    pb.assign(
+                        u[2 * i1 - 2, 2 * i2 - 2, 2 * i3 - 1],
+                        u[2 * i1 - 2, 2 * i2 - 2, 2 * i3 - 1],
+                        z[i1 - 1, i2 - 1, i3],
+                        z[i1 - 1, i2, i3],
+                        z[i1, i2 - 1, i3],
+                        z[i1, i2, i3],
+                        label="M4",
+                    )
+    return pb.build()

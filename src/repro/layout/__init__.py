@@ -1,0 +1,6 @@
+"""Memory layout and cache model (Section 2 of the paper)."""
+
+from repro.layout.cache import CacheConfig
+from repro.layout.memory import MemoryLayout, layout_for_refs
+
+__all__ = ["CacheConfig", "MemoryLayout", "layout_for_refs"]

@@ -1,0 +1,126 @@
+"""Memory layout: compile-time base addresses for column-major arrays.
+
+The paper requires "the base addresses of all non-register variables … known
+at compile time" (Section 3).  :class:`MemoryLayout` assigns byte base
+addresses to root arrays in declaration order; :class:`~repro.ir.ArrayView`
+objects (the renamed actuals of abstract inlining) resolve to the base of
+their storage root, so ``@B = @B1 = @B2`` exactly as in Fig. 5.
+
+Inter-array padding is supported directly because choosing pad sizes is one
+of the paper's motivating applications ("guide compiler locality
+optimisations", e.g. Rivera & Tseng-style padding).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.errors import LayoutError
+from repro.ir.arrays import Array
+
+
+class MemoryLayout:
+    """Byte base addresses for a set of root arrays.
+
+    Parameters
+    ----------
+    arrays:
+        Root arrays in placement order.  Views must not be passed; they
+        inherit placement from their storage root.
+    base:
+        Address of the first array.
+    align:
+        Alignment (bytes) applied to every base address.
+    pad_bytes:
+        Extra bytes placed *after* each array: either a single int applied
+        uniformly or a mapping from array name to pad size.
+    """
+
+    def __init__(
+        self,
+        arrays: Sequence[Array],
+        base: int = 0,
+        align: int = 8,
+        pad_bytes: int | Mapping[str, int] = 0,
+    ):
+        if align <= 0:
+            raise LayoutError("alignment must be positive")
+        self._bases: dict[str, int] = {}
+        self._arrays: list[Array] = []
+        cursor = base
+        for array in arrays:
+            if array.storage() is not array:
+                raise LayoutError(
+                    f"{array.name} is a view; lay out its storage root instead"
+                )
+            if array.name in self._bases:
+                raise LayoutError(f"duplicate array name {array.name!r}")
+            elements = array.known_elements()
+            if elements is None:
+                raise LayoutError(
+                    f"root array {array.name} has an assumed-size dimension; "
+                    "its total size must be known to lay out memory"
+                )
+            cursor = -(-cursor // align) * align  # round up
+            self._bases[array.name] = cursor
+            self._arrays.append(array)
+            cursor += elements * array.element_size
+            if isinstance(pad_bytes, int):
+                cursor += pad_bytes
+            else:
+                cursor += pad_bytes.get(array.name, 0)
+        self._end = cursor
+
+    @property
+    def arrays(self) -> tuple[Array, ...]:
+        """The laid-out root arrays in placement order."""
+        return tuple(self._arrays)
+
+    @property
+    def total_bytes(self) -> int:
+        """One past the last allocated byte."""
+        return self._end
+
+    def base_of(self, array: Array) -> int:
+        """Base byte address of ``array`` (views resolve to their root)."""
+        root = array.storage()
+        try:
+            return self._bases[root.name]
+        except KeyError:
+            raise LayoutError(f"array {root.name} has no assigned base") from None
+
+    def __contains__(self, array: Array) -> bool:
+        return array.storage().name in self._bases
+
+    def __repr__(self) -> str:
+        rows = ", ".join(f"{a.name}@{self._bases[a.name]}" for a in self._arrays)
+        return f"MemoryLayout({rows})"
+
+
+def layout_for_refs(
+    refs: Iterable,
+    base: int = 0,
+    align: int = 8,
+    pad_bytes: int | Mapping[str, int] = 0,
+    declared_order: Optional[Sequence[Array]] = None,
+) -> MemoryLayout:
+    """Build a layout covering the storage roots of a collection of references.
+
+    ``declared_order`` pins the placement order (e.g. the program's
+    declaration order); any additional roots found in the references are
+    appended in first-use order.
+    """
+    roots: list[Array] = []
+    seen: set[str] = set()
+    if declared_order:
+        for a in declared_order:
+            root = a.storage()
+            if root.name not in seen:
+                seen.add(root.name)
+                roots.append(root)
+    for ref in refs:
+        root = ref.array.storage()
+        if root.name not in seen:
+            seen.add(root.name)
+            roots.append(root)
+    return MemoryLayout(roots, base=base, align=align, pad_bytes=pad_bytes)

@@ -1,0 +1,19 @@
+"""Loop nest normalisation (Section 3.1 of the paper)."""
+
+from repro.normalize.nprogram import (
+    NLeaf,
+    NLoop,
+    NormalizedProgram,
+    NRef,
+    index_var,
+)
+from repro.normalize.pipeline import normalize
+
+__all__ = [
+    "NLeaf",
+    "NLoop",
+    "NormalizedProgram",
+    "NRef",
+    "index_var",
+    "normalize",
+]

@@ -1,0 +1,218 @@
+"""The normalised program representation (output of Section 3.1).
+
+After the five normalisation steps every statement sits inside an
+``n``-dimensional loop nest, all loops have unit steps, and the loop variable
+at depth ``k`` is ``Ik``.  The natural representation is a *loop tree*:
+
+* :class:`NLoop` — a loop at depth ``d`` with affine bounds over
+  ``I1..I(d-1)`` and an ordinal (its label component);
+* :class:`NLeaf` — a guarded statement inside an innermost (depth ``n``)
+  loop, carrying its references;
+* :class:`NRef` — one reference with its *lexical position*, the global
+  intra-iteration access index used by the ``≪``/``≫`` bracket rules of the
+  interference sets (Section 4.1.2).
+
+A leaf's *label* is the vector of ordinals along its path (Section 3.2), and
+its *reference iteration space* (Section 3.3) is the
+:class:`~repro.polyhedra.space.BoundedSpace` formed by the path's loop bounds
+plus the leaf's guard.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Union
+
+from repro.polyhedra.affine import Affine
+from repro.polyhedra.constraints import ConstraintSet
+from repro.polyhedra.space import BoundedSpace
+from repro.ir.arrays import Array
+
+
+def index_var(depth: int) -> str:
+    """The canonical loop variable at ``depth`` (1-based): ``I1``, ``I2``, …"""
+    return f"I{depth}"
+
+
+class NRef:
+    """A reference of a normalised leaf statement."""
+
+    __slots__ = ("array", "subscripts", "is_write", "lexpos", "leaf", "uid")
+
+    def __init__(
+        self,
+        array: Array,
+        subscripts: tuple[Affine, ...],
+        is_write: bool,
+        leaf: "NLeaf",
+    ):
+        self.array = array
+        self.subscripts = subscripts
+        self.is_write = is_write
+        self.leaf = leaf
+        self.lexpos: int = -1  # assigned when the tree is sealed
+        self.uid: int = -1
+
+    @property
+    def label(self) -> tuple[int, ...]:
+        """The loop label of the enclosing innermost loop."""
+        return self.leaf.label
+
+    def variables(self) -> frozenset[str]:
+        """Loop variables appearing in the subscripts."""
+        names: set[str] = set()
+        for s in self.subscripts:
+            names |= s.variables()
+        return frozenset(names)
+
+    def name(self) -> str:
+        """A short human-readable identifier."""
+        subs = ",".join(map(str, self.subscripts))
+        kind = "W" if self.is_write else "R"
+        return f"{self.leaf.stmt_label}:{self.array.name}({subs}):{kind}"
+
+    def __repr__(self) -> str:
+        return f"NRef({self.name()})"
+
+
+class NLeaf:
+    """A guarded statement inside an innermost loop."""
+
+    __slots__ = ("label", "guard", "stmt_label", "refs")
+
+    def __init__(
+        self, label: tuple[int, ...], guard: ConstraintSet, stmt_label: str
+    ):
+        self.label = label
+        self.guard = guard
+        self.stmt_label = stmt_label
+        self.refs: list[NRef] = []
+
+    def add_ref(self, array: Array, subscripts: tuple[Affine, ...], is_write: bool):
+        """Append a reference (access order = append order)."""
+        ref = NRef(array, subscripts, is_write, self)
+        self.refs.append(ref)
+        return ref
+
+    def __repr__(self) -> str:
+        return f"NLeaf({self.stmt_label}@{self.label}, {len(self.refs)} refs)"
+
+
+class NLoop:
+    """A normalised loop at depth ``d`` (unit step, affine bounds)."""
+
+    __slots__ = ("depth", "ordinal", "lower", "upper", "loops", "leaves")
+
+    def __init__(self, depth: int, ordinal: int, lower: Affine, upper: Affine):
+        self.depth = depth
+        self.ordinal = ordinal
+        self.lower = lower
+        self.upper = upper
+        self.loops: list["NLoop"] = []  # children at depth+1 (non-innermost)
+        self.leaves: list[NLeaf] = []  # guarded statements (innermost only)
+
+    @property
+    def is_innermost(self) -> bool:
+        """True when this loop directly contains statements."""
+        return bool(self.leaves) or not self.loops
+
+    def __repr__(self) -> str:
+        return (
+            f"NLoop(d={self.depth}, #{self.ordinal}, "
+            f"{self.lower}..{self.upper}, "
+            f"{len(self.loops)} loops, {len(self.leaves)} leaves)"
+        )
+
+
+class NormalizedProgram:
+    """The whole normalised program: a forest of depth-1 loops.
+
+    All properties guaranteed by Section 3.1 hold by construction:
+
+    * all loops have unit steps,
+    * all loop nests are ``n``-dimensional,
+    * the loop variable at depth ``k`` is ``Ik``,
+    * all statements are nested in ``n``-dimensional loop nests.
+    """
+
+    def __init__(self, name: str, depth: int, roots: Sequence[NLoop]):
+        self.name = name
+        self.depth = depth
+        self.roots = list(roots)
+        self.index_vars = tuple(index_var(d) for d in range(1, depth + 1))
+        self.leaves: list[NLeaf] = []
+        self.refs: list[NRef] = []
+        self._loops_by_label: dict[tuple[int, ...], NLoop] = {}
+        self._ris_cache: dict[tuple[int, ...], BoundedSpace] = {}
+        self._seal()
+
+    # -- construction ----------------------------------------------------------
+
+    def _seal(self) -> None:
+        """Index loops by label, collect leaves/refs, assign lexical positions."""
+
+        def visit(loop: NLoop, path: tuple[int, ...]) -> None:
+            label = path + (loop.ordinal,)
+            self._loops_by_label[label] = loop
+            if loop.leaves:
+                lexpos = 0
+                for leaf in loop.leaves:
+                    if leaf.label != label:
+                        raise ValueError(
+                            f"leaf {leaf} label does not match its path {label}"
+                        )
+                    self.leaves.append(leaf)
+                    for ref in leaf.refs:
+                        ref.lexpos = lexpos
+                        ref.uid = len(self.refs)
+                        lexpos += 1
+                        self.refs.append(ref)
+            for child in loop.loops:
+                visit(child, label)
+
+        for root in self.roots:
+            visit(root, ())
+
+    # -- lookups -----------------------------------------------------------------
+
+    def loop_at(self, label: tuple[int, ...]) -> NLoop:
+        """The loop whose label is ``label``."""
+        return self._loops_by_label[label]
+
+    def loops_on_path(self, label: tuple[int, ...]) -> list[NLoop]:
+        """The loops enclosing statements with this innermost label."""
+        return [self.loop_at(label[: d + 1]) for d in range(len(label))]
+
+    def ris(self, leaf: NLeaf) -> BoundedSpace:
+        """The reference iteration space of ``leaf`` over ``(I1..In)``.
+
+        Cached per ``(label, guard)`` pair; leaves sharing a label and a
+        guard share the space object (and its memoised counts).
+        """
+        key = (leaf.label, leaf.guard)
+        cached = self._ris_cache.get(key)
+        if cached is not None:
+            return cached
+        bounds = [
+            (loop.lower, loop.upper) for loop in self.loops_on_path(leaf.label)
+        ]
+        space = BoundedSpace(self.index_vars, bounds, leaf.guard)
+        self._ris_cache[key] = space
+        return space
+
+    def iter_innermost(self) -> Iterator[NLoop]:
+        """Yield every innermost loop (the loops containing leaves)."""
+
+        def visit(loop: NLoop) -> Iterator[NLoop]:
+            if loop.leaves or not loop.loops:
+                yield loop
+            for child in loop.loops:
+                yield from visit(child)
+
+        for root in self.roots:
+            yield from visit(root)
+
+    def __repr__(self) -> str:
+        return (
+            f"NormalizedProgram({self.name}, n={self.depth}, "
+            f"{len(self.leaves)} leaves, {len(self.refs)} refs)"
+        )

@@ -1,0 +1,276 @@
+"""The five loop-nest normalisation steps of Section 3.1.
+
+Given a call-free subroutine body the pipeline produces a
+:class:`~repro.normalize.nprogram.NormalizedProgram` with the paper's four
+guarantees: unit steps, ``n``-dimensional nests everywhere, canonical index
+names ``Ik``, and every statement inside an innermost loop.
+
+The steps, in implementation order:
+
+1. **Step normalisation** — ``DO I = lb, ub, s`` becomes a unit-step loop
+   ``1..K`` with ``I`` rewritten to ``lb + (I−1)·s`` everywhere (affine).
+2. **Guard flattening** — IF nodes are dissolved by pushing their conditions
+   onto the statements they dominate (a guard never mentions the inner loop
+   variables of the statements it guards, so this is semantics-preserving).
+3. **Loop sinking** — a statement next to a sibling loop is moved inside it,
+   guarded by the boundary iteration (``I == lb`` when sunk forwards into
+   the next loop, ``I == ub`` when sunk backwards into the previous one),
+   exactly as ``S1`` and ``S4`` of Fig. 2.
+4. **Depth padding** — statements shallower than ``n`` get enclosing unit
+   ``1..1`` loops (``S5`` of Fig. 2).
+5. **Index renaming** — the loop variable at depth ``k`` becomes ``Ik``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from repro.errors import NonAffineError, NonAnalysableError
+from repro.polyhedra.affine import Affine, Var
+from repro.polyhedra.constraints import ConstraintSet
+from repro.ir.nodes import Call, If, Loop, Node, Statement, Subroutine
+from repro.normalize.nprogram import (
+    NLeaf,
+    NLoop,
+    NormalizedProgram,
+    index_var,
+)
+
+
+class _GStmt:
+    """A statement with its accumulated guard (flattening output)."""
+
+    __slots__ = ("stmt", "guard")
+
+    def __init__(self, stmt: Statement, guard: ConstraintSet):
+        self.stmt = stmt
+        self.guard = guard
+
+
+class _FLoop:
+    """A unit-step loop during normalisation."""
+
+    __slots__ = ("var", "lower", "upper", "body")
+
+    def __init__(self, var: str, lower: Affine, upper: Affine, body: list):
+        self.var = var
+        self.lower = lower
+        self.upper = upper
+        self.body = body
+
+
+_FItem = Union[_FLoop, _GStmt]
+
+
+def _trip_count(lower: Affine, upper: Affine, step: int) -> Affine:
+    """The trip count of ``DO I = lower, upper, step`` as an affine expression.
+
+    For symbolic bounds the span must divide the step exactly — otherwise
+    the trip count involves a floor and is not affine (the program is then
+    outside the paper's model).
+    """
+    span = (upper - lower) if step > 0 else (lower - upper)
+    magnitude = abs(step)
+    if span.is_constant():
+        return Affine.const(max(0, span.constant_value() // magnitude + 1))
+    try:
+        return span // magnitude + 1
+    except NonAffineError:
+        raise NonAffineError(
+            f"loop span {span} is not divisible by step {step}; "
+            "trip count is not affine"
+        ) from None
+
+
+def _flatten(body: Sequence[Node], guard: ConstraintSet) -> list[_FItem]:
+    """Steps 1 + 2: unit steps everywhere, IF guards pushed onto statements."""
+    items: list[_FItem] = []
+    for node in body:
+        if isinstance(node, Statement):
+            items.append(_GStmt(node, guard))
+        elif isinstance(node, If):
+            items.extend(_flatten(node.body, guard.conjoin(node.guard)))
+        elif isinstance(node, Loop):
+            inner = _flatten(node.body, guard)
+            if node.step == 1:
+                items.append(_FLoop(node.var, node.lower, node.upper, inner))
+            else:
+                # DO I = lb, ub, s  ->  DO I' = 1, K with I := lb + (I'-1)*s
+                count = _trip_count(node.lower, node.upper, node.step)
+                mapping = {node.var: node.lower + (Var(node.var) - 1) * node.step}
+                rewritten: list[_FItem] = []
+                for it in inner:
+                    rewritten.append(_substitute_item(it, mapping))
+                items.append(
+                    _FLoop(node.var, Affine.const(1), count, rewritten)
+                )
+        elif isinstance(node, Call):
+            raise NonAnalysableError(
+                f"CALL {node.callee} reached the normaliser; "
+                "run abstract inlining first"
+            )
+        else:  # pragma: no cover - defensive
+            raise NonAnalysableError(f"unsupported IR node {node!r}")
+    return items
+
+
+def _substitute_item(item: _FItem, mapping) -> _FItem:
+    if isinstance(item, _GStmt):
+        return _GStmt(item.stmt.substitute(mapping), item.guard.substitute(mapping))
+    body = [_substitute_item(it, mapping) for it in item.body]
+    return _FLoop(
+        item.var,
+        item.lower.substitute(mapping),
+        item.upper.substitute(mapping),
+        body,
+    )
+
+
+def _max_depth(items: Sequence[_FItem]) -> int:
+    depth = 0
+    for it in items:
+        if isinstance(it, _FLoop):
+            depth = max(depth, 1 + _max_depth(it.body))
+    return depth
+
+
+_pad_counter = 0
+
+
+def _fresh_pad_var() -> str:
+    global _pad_counter
+    _pad_counter += 1
+    return f"_PAD{_pad_counter}"
+
+
+def _sink(items: list[_FItem], depth: int, n: int) -> list[_FItem]:
+    """Steps 3 + 4: sink statements into sibling loops; pad shallow nests."""
+    has_loops = any(isinstance(it, _FLoop) for it in items)
+    if not has_loops:
+        if depth == n:
+            return items  # innermost level: statements stay
+        # Step 4: wrap the statements in a unit loop and keep sinking.
+        pad = _FLoop(_fresh_pad_var(), Affine.const(1), Affine.const(1), list(items))
+        pad.body = _sink(pad.body, depth + 1, n)
+        return [pad]
+    # Step 3: statements must sink into an adjacent sibling loop.
+    loops: list[_FLoop] = []
+    pending: list[_GStmt] = []
+    for it in items:
+        if isinstance(it, _GStmt):
+            pending.append(it)
+        else:
+            if pending:
+                # Sink forwards: guard with the first iteration of this loop.
+                bound = Var(it.var).eq(it.lower)
+                for g in pending:
+                    g.guard = g.guard.conjoin(bound)
+                it.body = list(pending) + it.body
+                pending = []
+            loops.append(it)
+    if pending:
+        # Trailing statements sink backwards into the last loop's last iteration.
+        last = loops[-1]
+        bound = Var(last.var).eq(last.upper)
+        for g in pending:
+            g.guard = g.guard.conjoin(bound)
+        last.body = last.body + list(pending)
+    for loop in loops:
+        loop.body = _sink(loop.body, depth + 1, n)
+    return loops
+
+
+def _prune_empty(items: list[_FItem]) -> list[_FItem]:
+    """Drop loops that contain no statements at any depth."""
+    kept: list[_FItem] = []
+    for it in items:
+        if isinstance(it, _GStmt):
+            kept.append(it)
+        else:
+            it.body = _prune_empty(it.body)
+            if it.body:
+                kept.append(it)
+    return kept
+
+
+def _build(loop: _FLoop, depth: int, ordinal: int, rename: dict[str, str]) -> NLoop:
+    """Step 5: canonical renaming while materialising the NLoop tree."""
+    if loop.var in rename:
+        raise NonAffineError(
+            f"loop variable {loop.var!r} is reused by an enclosing loop"
+        )
+    nloop = NLoop(
+        depth,
+        ordinal,
+        loop.lower.rename(rename),
+        loop.upper.rename(rename),
+    )
+    inner_rename = dict(rename)
+    inner_rename[loop.var] = index_var(depth)
+    label_prefix_done = False
+    child_ordinal = 0
+    for it in loop.body:
+        if isinstance(it, _FLoop):
+            child_ordinal += 1
+            nloop.loops.append(_build(it, depth + 1, child_ordinal, inner_rename))
+        else:
+            label_prefix_done = True
+            leaf = NLeaf(
+                _label_placeholder, it.guard.rename(inner_rename), it.stmt.label
+            )
+            for ref in it.stmt.refs:
+                leaf.add_ref(
+                    ref.array,
+                    tuple(s.rename(inner_rename) for s in ref.subscripts),
+                    ref.is_write,
+                )
+            nloop.leaves.append(leaf)
+    if nloop.loops and nloop.leaves:  # pragma: no cover - sinking prevents this
+        raise NonAffineError("internal error: mixed loops and statements survive")
+    del label_prefix_done
+    return nloop
+
+
+_label_placeholder: tuple[int, ...] = ()
+
+
+def _assign_labels(loop: NLoop, path: tuple[int, ...]) -> None:
+    label = path + (loop.ordinal,)
+    for leaf in loop.leaves:
+        leaf.label = label
+    for child in loop.loops:
+        _assign_labels(child, label)
+
+
+def normalize(source: Union[Subroutine, Sequence[Node]], name: str = "") -> NormalizedProgram:
+    """Run the full normalisation pipeline on a call-free body.
+
+    Parameters
+    ----------
+    source:
+        A :class:`~repro.ir.nodes.Subroutine` (typically the result of
+        abstract inlining) or a raw list of IR nodes.
+    name:
+        A display name for the normalised program.
+
+    Returns
+    -------
+    NormalizedProgram
+        The loop tree with labels, guards and lexical positions assigned.
+    """
+    if isinstance(source, Subroutine):
+        body: Sequence[Node] = source.body
+        name = name or source.name
+    else:
+        body = source
+        name = name or "anonymous"
+    flat = _flatten(body, ConstraintSet.true())
+    n = max(1, _max_depth(flat))
+    sunk = _prune_empty(_sink(flat, 0, n))
+    roots = []
+    for ordinal, item in enumerate(sunk, start=1):
+        assert isinstance(item, _FLoop)
+        roots.append(_build(item, 1, ordinal, {}))
+    for root in roots:
+        _assign_labels(root, ())
+    return NormalizedProgram(name, n, roots)

@@ -1,0 +1,22 @@
+"""Locality-optimisation advisors built on the analytical model.
+
+The paper's stated purpose is to "guide compiler locality optimisations"
+— these helpers turn the analyser into exactly that: fast analytical
+scoring for padding (conflict misses) and tiling (capacity misses).
+"""
+
+from repro.opt.geometry import GeometryPoint, miss_ratio_curve, sweep_geometries
+from repro.opt.padding import PaddingChoice, evaluate_padding, search_padding
+from repro.opt.tiling import TileChoice, best_tile, search_tiles
+
+__all__ = [
+    "GeometryPoint",
+    "miss_ratio_curve",
+    "sweep_geometries",
+    "PaddingChoice",
+    "evaluate_padding",
+    "search_padding",
+    "TileChoice",
+    "best_tile",
+    "search_tiles",
+]

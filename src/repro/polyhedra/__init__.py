@@ -1,0 +1,40 @@
+"""Minimal polyhedral machinery for analytical cache modelling.
+
+The paper manipulates its miss equations "by polyhedral theory" using tools of
+the era (the Omega calculator, PolyLib, Ehrhart polynomials).  This package
+implements, from scratch, exactly the slice of that machinery the method
+needs:
+
+* :class:`~repro.polyhedra.affine.Affine` — integer affine expressions over
+  named loop indices,
+* :class:`~repro.polyhedra.constraints.Constraint` /
+  :class:`~repro.polyhedra.constraints.ConstraintSet` — conjunctions of affine
+  equalities and inequalities (the guards of references),
+* :mod:`~repro.polyhedra.intsolve` — integer linear algebra (Hermite normal
+  form, particular solutions, null-space lattice bases) used to solve the
+  reuse equations ``M·x = m_p − m_c`` of Section 3.5,
+* :class:`~repro.polyhedra.space.BoundedSpace` — per-dimension affine bounds
+  plus guard constraints, with exact point counting, membership, lexicographic
+  enumeration and uniform integer-point sampling (the "volume of a RIS"
+  computation of Fig. 6).
+"""
+
+from repro.polyhedra.affine import Affine, Var
+from repro.polyhedra.constraints import Constraint, ConstraintSet
+from repro.polyhedra.intsolve import (
+    hermite_normal_form,
+    nullspace_basis,
+    solve_integer,
+)
+from repro.polyhedra.space import BoundedSpace
+
+__all__ = [
+    "Affine",
+    "Var",
+    "Constraint",
+    "ConstraintSet",
+    "hermite_normal_form",
+    "nullspace_basis",
+    "solve_integer",
+    "BoundedSpace",
+]

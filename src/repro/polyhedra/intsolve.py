@@ -1,0 +1,163 @@
+"""Exact integer linear algebra for the reuse equations.
+
+Section 3.5 of the paper derives temporal reuse vectors by solving
+
+    M · x = m_p − m_c
+
+over the integers, and spatial reuse vectors by solving the same system with
+the first row removed.  This module provides the necessary machinery using
+arbitrary-precision Python integers (no floating point, hence no rounding
+error):
+
+* :func:`hermite_normal_form` — column-style HNF ``H = A·U`` with ``U``
+  unimodular,
+* :func:`solve_integer` — a particular integer solution of ``A·x = b`` (or
+  ``None`` when no integer solution exists),
+* :func:`nullspace_basis` — a lattice basis of ``{x : A·x = 0}``.
+
+Matrices are plain ``list[list[int]]`` (rows); vectors are ``list[int]``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+Matrix = list[list[int]]
+Vector = list[int]
+
+
+def _copy_matrix(a: Sequence[Sequence[int]]) -> Matrix:
+    return [list(map(int, row)) for row in a]
+
+
+def _identity(n: int) -> Matrix:
+    return [[1 if i == j else 0 for j in range(n)] for i in range(n)]
+
+
+def _swap_columns(mat: Matrix, i: int, j: int) -> None:
+    if i == j:
+        return
+    for row in mat:
+        row[i], row[j] = row[j], row[i]
+
+
+def _add_column_multiple(mat: Matrix, dst: int, src: int, factor: int) -> None:
+    """col[dst] += factor * col[src]."""
+    if factor == 0:
+        return
+    for row in mat:
+        row[dst] += factor * row[src]
+
+
+def _negate_column(mat: Matrix, j: int) -> None:
+    for row in mat:
+        row[j] = -row[j]
+
+
+def hermite_normal_form(
+    a: Sequence[Sequence[int]],
+) -> tuple[Matrix, Matrix, list[tuple[int, int]]]:
+    """Column-style Hermite normal form.
+
+    Returns ``(H, U, pivots)`` with ``H = A·U``, ``U`` unimodular, ``H`` in
+    column echelon form (each pivot column has its first non-zero entry on a
+    strictly increasing row), and ``pivots`` the list of ``(row, col)`` pivot
+    positions.  Columns of ``U`` beyond the pivot columns span the null space
+    of ``A``.
+    """
+    h = _copy_matrix(a)
+    m = len(h)
+    n = len(h[0]) if m else 0
+    u = _identity(n)
+    pivots: list[tuple[int, int]] = []
+    col = 0
+    for row in range(m):
+        if col >= n:
+            break
+        # Reduce all entries in this row at columns >= col to a single pivot.
+        while True:
+            nonzero = [j for j in range(col, n) if h[row][j] != 0]
+            if not nonzero:
+                break
+            # Move the smallest-magnitude non-zero entry into the pivot column.
+            j_min = min(nonzero, key=lambda j: abs(h[row][j]))
+            _swap_columns(h, col, j_min)
+            _swap_columns(u, col, j_min)
+            pivot = h[row][col]
+            done = True
+            for j in range(col + 1, n):
+                if h[row][j] != 0:
+                    q = h[row][j] // pivot
+                    _add_column_multiple(h, j, col, -q)
+                    _add_column_multiple(u, j, col, -q)
+                    if h[row][j] != 0:
+                        done = False
+            if done:
+                break
+        if col < n and h[row][col] != 0:
+            if h[row][col] < 0:
+                _negate_column(h, col)
+                _negate_column(u, col)
+            pivots.append((row, col))
+            col += 1
+    return h, u, pivots
+
+
+def solve_integer(
+    a: Sequence[Sequence[int]], b: Sequence[int]
+) -> Optional[Vector]:
+    """A particular integer solution ``x`` of ``A·x = b``, or ``None``.
+
+    Free coordinates are set to zero, so for full-column-rank systems the
+    unique solution is returned; otherwise any solution differing by a null
+    space lattice vector is equally valid (the reuse-vector generator
+    enumerates the lattice separately).
+    """
+    m = len(a)
+    n = len(a[0]) if m else 0
+    if len(b) != m:
+        raise ValueError("dimension mismatch between matrix and right-hand side")
+    if n == 0:
+        return [] if all(v == 0 for v in b) else None
+    h, u, pivots = hermite_normal_form(a)
+    y = [0] * n
+    pivot_by_row = dict(pivots)
+    for row in range(m):
+        residual = b[row] - sum(h[row][c] * y[c] for c in range(n))
+        if row in pivot_by_row:
+            col = pivot_by_row[row]
+            pivot = h[row][col]
+            if residual % pivot:
+                return None  # no integer solution
+            y[col] = residual // pivot
+        elif residual != 0:
+            return None  # inconsistent system
+    # x = U · y
+    return [sum(u[i][j] * y[j] for j in range(n)) for i in range(n)]
+
+
+def nullspace_basis(a: Sequence[Sequence[int]]) -> list[Vector]:
+    """A lattice basis of the integer null space ``{x : A·x = 0}``."""
+    m = len(a)
+    n = len(a[0]) if m else 0
+    if n == 0:
+        return []
+    if m == 0:
+        return [[1 if i == j else 0 for i in range(n)] for j in range(n)]
+    h, u, pivots = hermite_normal_form(a)
+    pivot_cols = {col for _, col in pivots}
+    basis = []
+    for j in range(n):
+        if j not in pivot_cols:
+            basis.append([u[i][j] for i in range(n)])
+    return basis
+
+
+def matvec(a: Sequence[Sequence[int]], x: Sequence[int]) -> Vector:
+    """The product ``A·x`` with exact integers."""
+    return [sum(row[j] * x[j] for j in range(len(x))) for row in a]
+
+
+def is_zero_vector(v: Sequence[int]) -> bool:
+    """True if every component is zero."""
+    return all(c == 0 for c in v)

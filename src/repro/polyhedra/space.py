@@ -1,0 +1,252 @@
+"""Bounded integer spaces: per-dimension affine bounds plus guards.
+
+A :class:`BoundedSpace` represents the set of integer points
+
+    { (v₁, …, vₙ) | lbₖ(v₁..vₖ₋₁) ≤ vₖ ≤ ubₖ(v₁..vₖ₋₁), guard(v₁..vₙ) }
+
+which is exactly the shape of a reference iteration space (RIS, Section 3.3):
+normalised loop bounds are affine in the outer indices and IF guards add a
+conjunction of affine constraints.
+
+The class provides the polyhedral operations the solvers of Fig. 6 need:
+
+* :meth:`contains` — membership test (used by the cold equations),
+* :meth:`count` — the exact number of integer points (the "volume of a RIS"),
+* :meth:`enumerate_points` — lexicographic enumeration (``FindMisses``),
+* :meth:`sample` — *uniform* sampling of integer points
+  (``EstimateMisses``), implemented by count-weighted descent so that
+  triangular and guarded spaces are sampled without bias.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+import random
+
+from repro.polyhedra.affine import Affine
+from repro.polyhedra.constraints import Constraint, ConstraintSet
+
+
+class BoundedSpace:
+    """An integer space with per-dimension affine bounds and a guard.
+
+    Parameters
+    ----------
+    dims:
+        Ordered variable names ``(v1, …, vn)``.
+    bounds:
+        One ``(lower, upper)`` pair of :class:`Affine` per dimension; the
+        bounds of dimension ``k`` may reference only ``v1..v(k-1)``.
+    guard:
+        Extra affine constraints over all dimensions (IF guards).
+    """
+
+    def __init__(
+        self,
+        dims: Sequence[str],
+        bounds: Sequence[tuple[Affine, Affine]],
+        guard: ConstraintSet | None = None,
+    ):
+        if len(dims) != len(bounds):
+            raise ValueError("one (lower, upper) bound pair required per dimension")
+        self.dims = tuple(dims)
+        self.bounds = tuple((Affine.coerce(lo), Affine.coerce(hi)) for lo, hi in bounds)
+        self.guard = guard if guard is not None else ConstraintSet.true()
+        self._n = len(self.dims)
+        self._dim_index = {name: k for k, name in enumerate(self.dims)}
+        for k, (lo, hi) in enumerate(self.bounds):
+            allowed = set(self.dims[:k])
+            for expr in (lo, hi):
+                extra = expr.variables() - allowed
+                if extra:
+                    raise ValueError(
+                        f"bound {expr} of dimension {self.dims[k]} references "
+                        f"non-outer variables {sorted(extra)}"
+                    )
+        # Assign every guard constraint to the deepest dimension it mentions,
+        # so it is checked as soon as that dimension is fixed.
+        self._cons_at: list[list[Constraint]] = [[] for _ in range(self._n)]
+        self._const_cons: list[Constraint] = []
+        for c in self.guard:
+            vs = c.variables()
+            if not vs:
+                self._const_cons.append(c)
+                continue
+            unknown = vs - set(self.dims)
+            if unknown:
+                raise ValueError(
+                    f"guard {c!r} references unknown variables {sorted(unknown)}"
+                )
+            level = max(self._dim_index[v] for v in vs)
+            self._cons_at[level].append(c)
+        # Memoisation keys: the outer variables that still matter at depth d.
+        self._memo_vars: list[tuple[str, ...]] = []
+        for d in range(self._n + 1):
+            relevant: set[str] = set()
+            for e in range(d, self._n):
+                for expr in self.bounds[e]:
+                    relevant |= expr.variables()
+                for c in self._cons_at[e]:
+                    relevant |= c.variables()
+            self._memo_vars.append(
+                tuple(v for v in self.dims[:d] if v in relevant)
+            )
+        self._count_memo: dict[tuple, int] = {}
+
+    # -- basic queries ---------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return self._n
+
+    def is_trivially_empty(self) -> bool:
+        """True if a constant guard constraint already rules out all points."""
+        return any(c.trivially_false() for c in self._const_cons)
+
+    def contains(self, point: Sequence[int]) -> bool:
+        """True if ``point`` (one integer per dimension) lies in the space."""
+        if len(point) != self._n:
+            return False
+        if self.is_trivially_empty():
+            return False
+        env: dict[str, int] = {}
+        for k, value in enumerate(point):
+            lo, hi = self.bounds[k]
+            if not (lo.evaluate(env) <= value <= hi.evaluate(env)):
+                return False
+            env[self.dims[k]] = value
+            for c in self._cons_at[k]:
+                if not c.satisfied(env):
+                    return False
+        return True
+
+    def var_ranges(self) -> dict[str, tuple[int, int]]:
+        """Conservative per-dimension ``(min, max)`` box via interval arithmetic."""
+        ranges: dict[str, tuple[int, int]] = {}
+        for k, (lo, hi) in enumerate(self.bounds):
+            lo_lo, _ = lo.bounds(ranges)
+            _, hi_hi = hi.bounds(ranges)
+            ranges[self.dims[k]] = (lo_lo, max(lo_lo, hi_hi))
+        return ranges
+
+    # -- counting ----------------------------------------------------------------
+
+    def count(self) -> int:
+        """The exact number of integer points in the space."""
+        if self.is_trivially_empty():
+            return 0
+        return self._count_from(0, {})
+
+    def _count_from(self, d: int, env: dict[str, int]) -> int:
+        if d == self._n:
+            return 1
+        key = (d,) + tuple(env[v] for v in self._memo_vars[d])
+        cached = self._count_memo.get(key)
+        if cached is not None:
+            return cached
+        lo = self.bounds[d][0].evaluate(env)
+        hi = self.bounds[d][1].evaluate(env)
+        total = 0
+        if hi >= lo:
+            var = self.dims[d]
+            cons = self._cons_at[d]
+            # Fast path: no guard at this level and the inner count does not
+            # depend on this variable -> multiply instead of iterating.
+            if not cons and var not in self._memo_vars[d + 1]:
+                env[var] = lo
+                inner = self._count_from(d + 1, env)
+                del env[var]
+                total = (hi - lo + 1) * inner
+            else:
+                for value in range(lo, hi + 1):
+                    env[var] = value
+                    if all(c.satisfied(env) for c in cons):
+                        total += self._count_from(d + 1, env)
+                del env[var]
+        self._count_memo[key] = total
+        return total
+
+    # -- enumeration ---------------------------------------------------------------
+
+    def enumerate_points(self) -> Iterator[tuple[int, ...]]:
+        """Yield every integer point in lexicographic order."""
+        if self.is_trivially_empty():
+            return
+        yield from self._enumerate_from(0, {}, [])
+
+    def _enumerate_from(
+        self, d: int, env: dict[str, int], prefix: list[int]
+    ) -> Iterator[tuple[int, ...]]:
+        if d == self._n:
+            yield tuple(prefix)
+            return
+        lo = self.bounds[d][0].evaluate(env)
+        hi = self.bounds[d][1].evaluate(env)
+        var = self.dims[d]
+        cons = self._cons_at[d]
+        for value in range(lo, hi + 1):
+            env[var] = value
+            if all(c.satisfied(env) for c in cons):
+                prefix.append(value)
+                yield from self._enumerate_from(d + 1, env, prefix)
+                prefix.pop()
+        env.pop(var, None)
+
+    # -- uniform sampling -------------------------------------------------------------
+
+    def sample(
+        self, n: int, rng: random.Random | None = None
+    ) -> list[tuple[int, ...]]:
+        """Draw ``n`` points uniformly at random (with replacement).
+
+        Sampling descends the dimensions weighting each candidate value by
+        the exact count of the subtree below it, which yields an exactly
+        uniform distribution over the integer points even for triangular or
+        guarded spaces.  Raises ``ValueError`` on an empty space.
+        """
+        rng = rng if rng is not None else random.Random()
+        total = self.count()
+        if total == 0:
+            raise ValueError("cannot sample from an empty space")
+        return [self._sample_one(rng) for _ in range(n)]
+
+    def _sample_one(self, rng: random.Random) -> tuple[int, ...]:
+        env: dict[str, int] = {}
+        point: list[int] = []
+        for d in range(self._n):
+            lo = self.bounds[d][0].evaluate(env)
+            hi = self.bounds[d][1].evaluate(env)
+            var = self.dims[d]
+            cons = self._cons_at[d]
+            # Weight each candidate value by its subtree count.
+            weights: list[tuple[int, int]] = []
+            running = 0
+            for value in range(lo, hi + 1):
+                env[var] = value
+                if all(c.satisfied(env) for c in cons):
+                    w = self._count_from(d + 1, env)
+                    if w:
+                        running += w
+                        weights.append((value, running))
+            if not weights:
+                raise ValueError("cannot sample from an empty space")
+            pick = rng.randrange(weights[-1][1])
+            chosen = weights[-1][0]
+            for value, cumulative in weights:
+                if pick < cumulative:
+                    chosen = value
+                    break
+            env[var] = chosen
+            point.append(chosen)
+        return tuple(point)
+
+    def __repr__(self) -> str:
+        parts = [
+            f"{lo} <= {v} <= {hi}"
+            for v, (lo, hi) in zip(self.dims, self.bounds)
+        ]
+        if not self.guard.is_true():
+            parts.append(repr(self.guard))
+        return "BoundedSpace(" + ", ".join(parts) + ")"

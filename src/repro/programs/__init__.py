@@ -1,0 +1,13 @@
+"""Whole-program workloads — the Table 5/6 suite.
+
+These are structural substitutes for the SPECfp95 programs the paper
+analyses (Tomcatv, Swim, Applu); see DESIGN.md §3 for the substitution
+rationale.  Each builder is parameterised by problem size and time steps so
+benches can run from seconds (CI) up to paper-scale.
+"""
+
+from repro.programs.applu_like import build_applu_like
+from repro.programs.swim_like import build_swim_like
+from repro.programs.tomcatv_like import build_tomcatv_like
+
+__all__ = ["build_applu_like", "build_swim_like", "build_tomcatv_like"]

@@ -1,0 +1,140 @@
+"""An Applu-class whole program (structural substitute for SPECfp95 110.applu).
+
+The real Applu (3868 lines, 16 subroutines, 2565 references) solves five
+coupled parabolic/elliptic PDEs with an SSOR scheme: each pseudo-time step
+computes the right-hand side, forms the lower/upper Jacobians, performs a
+*forward* lower-triangular sweep (blts) and a *backward* upper-triangular
+sweep (buts), then adds the correction to the solution.  Every call passes
+whole arrays as actuals, and the paper reports that *all* actual parameters
+are propagateable.
+
+This builder reproduces that structure on a 2-D grid with the 5-component
+leading dimension of the real code (column-major: components contiguous):
+
+* arrays ``U, RSD, FRCT, DIAG`` of shape ``(5, N, N)``,
+* subroutines SETIV, ERHS, RHS, JACLD, BLTS, JACU, BUTS, ADDU — every one
+  called with whole-array actuals (propagateable, as in the paper),
+* a backward sweep with negative loop strides,
+* an SSOR time loop in MAIN.
+
+It is a miniature, not a transcription — see DESIGN.md §3 for why the
+substitution preserves the experiment.
+"""
+
+from __future__ import annotations
+
+from repro.ir import Program, ProgramBuilder
+
+
+def build_applu_like(n: int = 32, steps: int = 2) -> Program:
+    """Build the Applu-class SSOR program on an ``n × n`` grid."""
+    pb = ProgramBuilder("APPLU-LIKE")
+    shape = (5, n, n)
+    u = pb.array("U", shape)
+    rsd = pb.array("RSD", shape)
+    frct = pb.array("FRCT", shape)
+    diag = pb.array("DIAG", shape)
+
+    with pb.subroutine("MAIN"):
+        pb.call("SETIV", u)
+        pb.call("ERHS", frct)
+        with pb.do("ISTEP", 1, steps):
+            pb.call("RHS", u, rsd, frct)
+            pb.call("JACLD", u, diag)
+            pb.call("BLTS", rsd, diag)
+            pb.call("JACU", u, diag)
+            pb.call("BUTS", rsd, diag)
+            pb.call("ADDU", u, rsd)
+
+    with pb.subroutine("SETIV") as s:
+        cu = s.array_formal("CU", shape)
+        with pb.do("J", 1, n) as j:
+            with pb.do("I", 1, n) as i:
+                with pb.do("M", 1, 5) as m:
+                    pb.assign(cu[m, i, j], label="SV1")
+
+    with pb.subroutine("ERHS") as s:
+        cf = s.array_formal("CF", shape)
+        with pb.do("J", 1, n) as j:
+            with pb.do("I", 1, n) as i:
+                with pb.do("M", 1, 5) as m:
+                    pb.assign(cf[m, i, j], label="EH1")
+
+    with pb.subroutine("RHS") as s:
+        cu = s.array_formal("CU", shape)
+        crsd = s.array_formal("CRSD", shape)
+        cfrct = s.array_formal("CFRCT", shape)
+        with pb.do("J", 2, n - 1) as j:
+            with pb.do("I", 2, n - 1) as i:
+                with pb.do("M", 1, 5) as m:
+                    pb.assign(
+                        crsd[m, i, j],
+                        cfrct[m, i, j],
+                        cu[m, i - 1, j], cu[m, i + 1, j],
+                        cu[m, i, j - 1], cu[m, i, j + 1],
+                        cu[m, i, j],
+                        label="RH1",
+                    )
+
+    with pb.subroutine("JACLD") as s:
+        cu = s.array_formal("CU", shape)
+        cd = s.array_formal("CD", shape)
+        with pb.do("J", 2, n - 1) as j:
+            with pb.do("I", 2, n - 1) as i:
+                with pb.do("M", 1, 5) as m:
+                    pb.assign(
+                        cd[m, i, j],
+                        cu[m, i, j], cu[m, i - 1, j], cu[m, i, j - 1],
+                        label="JL1",
+                    )
+
+    with pb.subroutine("BLTS") as s:
+        crsd = s.array_formal("CRSD", shape)
+        cd = s.array_formal("CD", shape)
+        with pb.do("J", 2, n - 1) as j:
+            with pb.do("I", 2, n - 1) as i:
+                with pb.do("M", 1, 5) as m:
+                    pb.assign(
+                        crsd[m, i, j],
+                        crsd[m, i, j],
+                        cd[m, i, j],
+                        crsd[m, i - 1, j], crsd[m, i, j - 1],
+                        label="BL1",
+                    )
+
+    with pb.subroutine("JACU") as s:
+        cu = s.array_formal("CU", shape)
+        cd = s.array_formal("CD", shape)
+        with pb.do("J", n - 1, 2, step=-1) as j:
+            with pb.do("I", n - 1, 2, step=-1) as i:
+                with pb.do("M", 1, 5) as m:
+                    pb.assign(
+                        cd[m, i, j],
+                        cu[m, i, j], cu[m, i + 1, j], cu[m, i, j + 1],
+                        label="JU1",
+                    )
+
+    with pb.subroutine("BUTS") as s:
+        crsd = s.array_formal("CRSD", shape)
+        cd = s.array_formal("CD", shape)
+        with pb.do("J", n - 1, 2, step=-1) as j:
+            with pb.do("I", n - 1, 2, step=-1) as i:
+                with pb.do("M", 1, 5) as m:
+                    pb.assign(
+                        crsd[m, i, j],
+                        crsd[m, i, j],
+                        cd[m, i, j],
+                        crsd[m, i + 1, j], crsd[m, i, j + 1],
+                        label="BU1",
+                    )
+
+    with pb.subroutine("ADDU") as s:
+        cu = s.array_formal("CU", shape)
+        crsd = s.array_formal("CRSD", shape)
+        with pb.do("J", 2, n - 1) as j:
+            with pb.do("I", 2, n - 1) as i:
+                with pb.do("M", 1, 5) as m:
+                    pb.assign(
+                        cu[m, i, j], cu[m, i, j], crsd[m, i, j], label="AD1"
+                    )
+    return pb.build()

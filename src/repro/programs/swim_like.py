@@ -1,0 +1,113 @@
+"""A Swim-class whole program (structural substitute for SPECfp95 102.swim).
+
+The real Swim is a 429-line shallow-water code: thirteen global N×N REAL*8
+arrays and a main time loop that makes *parameterless* calls to CALC1
+(compute fluxes CU, CV and the vorticity/height fields Z, H from U, V, P),
+CALC2 (advance UNEW, VNEW, PNEW from the fluxes) and CALC3 (Robert/Asselin
+time smoothing into UOLD, VOLD, POLD).  The paper highlights exactly this
+property: "This example demonstrates that we can analyse codes consisting
+of call statements.  All calls are parameterless."
+
+This builder reproduces that structure — 4 subroutines + MAIN, 13 global
+arrays, 6 call statements per paper's Table 5 shape — at configurable size.
+"""
+
+from __future__ import annotations
+
+from repro.ir import Program, ProgramBuilder
+
+
+def build_swim_like(n: int = 64, steps: int = 2) -> Program:
+    """Build the Swim-class shallow-water program on an ``n × n`` grid."""
+    pb = ProgramBuilder("SWIM-LIKE")
+    dims = (n, n)
+    u = pb.array("U", dims)
+    v = pb.array("V", dims)
+    p = pb.array("P", dims)
+    unew = pb.array("UNEW", dims)
+    vnew = pb.array("VNEW", dims)
+    pnew = pb.array("PNEW", dims)
+    uold = pb.array("UOLD", dims)
+    vold = pb.array("VOLD", dims)
+    pold = pb.array("POLD", dims)
+    cu = pb.array("CU", dims)
+    cv = pb.array("CV", dims)
+    z = pb.array("Z", dims)
+    h = pb.array("H", dims)
+
+    with pb.subroutine("MAIN"):
+        pb.call("INITAL")
+        with pb.do("NCYCLE", 1, steps):
+            pb.call("CALC1")
+            pb.call("CALC2")
+            pb.call("CALC3")
+
+    with pb.subroutine("INITAL"):
+        with pb.do("J", 1, n) as j:
+            with pb.do("I", 1, n) as i:
+                pb.assign(p[i, j], label="I1")
+                pb.assign(u[i, j], label="I2")
+                pb.assign(v[i, j], label="I3")
+                pb.assign(uold[i, j], u[i, j], label="I4")
+                pb.assign(vold[i, j], v[i, j], label="I5")
+                pb.assign(pold[i, j], p[i, j], label="I6")
+
+    with pb.subroutine("CALC1"):
+        with pb.do("J", 1, n - 1) as j:
+            with pb.do("I", 1, n - 1) as i:
+                pb.assign(cu[i + 1, j], p[i + 1, j], p[i, j], u[i + 1, j], label="C1A")
+                pb.assign(cv[i, j + 1], p[i, j + 1], p[i, j], v[i, j + 1], label="C1B")
+                pb.assign(
+                    z[i + 1, j + 1],
+                    v[i + 1, j + 1], v[i, j + 1], u[i + 1, j + 1], u[i + 1, j],
+                    p[i, j], p[i + 1, j], p[i + 1, j + 1], p[i, j + 1],
+                    label="C1C",
+                )
+                pb.assign(
+                    h[i, j],
+                    p[i, j], u[i + 1, j], u[i, j], v[i, j + 1], v[i, j],
+                    label="C1D",
+                )
+
+    with pb.subroutine("CALC2"):
+        with pb.do("J", 1, n - 1) as j:
+            with pb.do("I", 1, n - 1) as i:
+                pb.assign(
+                    unew[i + 1, j],
+                    uold[i + 1, j],
+                    z[i + 1, j + 1], z[i + 1, j],
+                    cv[i + 1, j + 1], cv[i, j + 1], cv[i, j], cv[i + 1, j],
+                    h[i + 1, j], h[i, j],
+                    label="C2A",
+                )
+                pb.assign(
+                    vnew[i, j + 1],
+                    vold[i, j + 1],
+                    z[i + 1, j + 1], z[i, j + 1],
+                    cu[i + 1, j + 1], cu[i, j + 1], cu[i, j], cu[i + 1, j],
+                    h[i, j + 1], h[i, j],
+                    label="C2B",
+                )
+                pb.assign(
+                    pnew[i, j],
+                    pold[i, j],
+                    cu[i + 1, j], cu[i, j], cv[i, j + 1], cv[i, j],
+                    label="C2C",
+                )
+
+    with pb.subroutine("CALC3"):
+        with pb.do("J", 1, n) as j:
+            with pb.do("I", 1, n) as i:
+                pb.assign(
+                    uold[i, j], u[i, j], unew[i, j], uold[i, j], label="C3A"
+                )
+                pb.assign(
+                    vold[i, j], v[i, j], vnew[i, j], vold[i, j], label="C3B"
+                )
+                pb.assign(
+                    pold[i, j], p[i, j], pnew[i, j], pold[i, j], label="C3C"
+                )
+                pb.assign(u[i, j], unew[i, j], label="C3D")
+                pb.assign(v[i, j], vnew[i, j], label="C3E")
+                pb.assign(p[i, j], pnew[i, j], label="C3F")
+    return pb.build()

@@ -1,0 +1,77 @@
+"""A Tomcatv-class whole program (structural substitute for SPECfp95 101.tomcatv).
+
+The real Tomcatv is a 190-line single-routine mesh-generation code: one
+outer time-step loop around (1) a 9-point residual stencil over the mesh
+coordinate arrays, (2) a forward tridiagonal elimination sweep, (3) a
+*backward* substitution sweep (a negative-stride loop) and (4) a correction
+update.  This builder reproduces exactly that shape — one subroutine, no
+calls, seven N×N REAL*8 arrays, four nests per time step including the
+downward DO loop — at configurable problem size.
+
+SPEC sources and reference inputs are licensed artefacts, so the experiment
+(Table 5/6 row "Tomcatv") runs on this structurally faithful miniature; see
+DESIGN.md §3 for the substitution rationale.
+"""
+
+from __future__ import annotations
+
+from repro.ir import Program, ProgramBuilder
+
+
+def build_tomcatv_like(n: int = 64, steps: int = 2) -> Program:
+    """Build the Tomcatv-class program on an ``n × n`` mesh."""
+    pb = ProgramBuilder("TOMCATV-LIKE")
+    dims = (n, n)
+    x = pb.array("X", dims)
+    y = pb.array("Y", dims)
+    rx = pb.array("RX", dims)
+    ry = pb.array("RY", dims)
+    aa = pb.array("AA", dims)
+    dd = pb.array("DD", dims)
+    d = pb.array("D", dims)
+    with pb.subroutine("MAIN"):
+        with pb.do("ITER", 1, steps):
+            # (1) residual stencil over the mesh coordinates
+            with pb.do("J", 2, n - 1) as j:
+                with pb.do("I", 2, n - 1) as i:
+                    pb.assign(
+                        rx[i, j],
+                        x[i - 1, j], x[i + 1, j], x[i, j - 1], x[i, j + 1],
+                        x[i - 1, j - 1], x[i + 1, j + 1], x[i, j],
+                        label="T1",
+                    )
+                    pb.assign(
+                        ry[i, j],
+                        y[i - 1, j], y[i + 1, j], y[i, j - 1], y[i, j + 1],
+                        y[i + 1, j - 1], y[i - 1, j + 1], y[i, j],
+                        label="T2",
+                    )
+                    pb.assign(aa[i, j], x[i, j - 1], x[i, j + 1], label="T3")
+                    pb.assign(dd[i, j], y[i, j - 1], y[i, j + 1], label="T4")
+            # (2) forward elimination down the columns
+            with pb.do("J", 2, n - 1) as j:
+                with pb.do("I", 2, n - 1) as i:
+                    pb.assign(
+                        d[i, j], dd[i, j], aa[i, j], d[i, j - 1], label="T5"
+                    )
+                    pb.assign(
+                        rx[i, j], rx[i, j], aa[i, j], rx[i, j - 1], label="T6"
+                    )
+                    pb.assign(
+                        ry[i, j], ry[i, j], aa[i, j], ry[i, j - 1], label="T7"
+                    )
+            # (3) backward substitution (downward loop, step -1)
+            with pb.do("J", n - 1, 2, step=-1) as j:
+                with pb.do("I", 2, n - 1) as i:
+                    pb.assign(
+                        rx[i, j], rx[i, j], d[i, j], rx[i, j + 1], label="T8"
+                    )
+                    pb.assign(
+                        ry[i, j], ry[i, j], d[i, j], ry[i, j + 1], label="T9"
+                    )
+            # (4) add the corrections to the mesh
+            with pb.do("J", 2, n - 1) as j:
+                with pb.do("I", 2, n - 1) as i:
+                    pb.assign(x[i, j], x[i, j], rx[i, j], label="T10")
+                    pb.assign(y[i, j], y[i, j], ry[i, j], label="T11")
+    return pb.build()

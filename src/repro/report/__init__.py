@@ -1,0 +1,5 @@
+"""Paper-style reporting helpers."""
+
+from repro.report.tables import assoc_label, format_table
+
+__all__ = ["assoc_label", "format_table"]

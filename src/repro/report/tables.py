@@ -1,0 +1,43 @@
+"""Plain-text table rendering in the paper's style.
+
+Every benchmark prints the paper's published rows next to our measured rows
+using these helpers, so the regenerated tables are directly comparable to
+the originals (EXPERIMENTS.md records the outcomes).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned plain-text table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def assoc_label(assoc: int) -> str:
+    """The paper's associativity labels: ``direct``, ``2-way``, ``4-way``."""
+    return "direct" if assoc == 1 else f"{assoc}-way"

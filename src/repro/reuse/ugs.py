@@ -1,0 +1,45 @@
+"""Uniformly generated reference sets across multiple nests (Section 3.4).
+
+After normalisation every loop variable at depth ``k`` is ``Ik``, so two
+references — even in different nests — are *uniformly generated* exactly when
+they access the same array with the same linear part ``M`` of their subscript
+functions ``M·I + m``.  This generalisation is what lets the paper exploit
+reuse *across* nests.
+
+References created by inlining-time renaming (array views) have distinct
+array identities, so they form their own sets — matching the paper, where a
+renamed actual only preserves reuse among the references of the same callee.
+"""
+
+from __future__ import annotations
+
+from repro.normalize.nprogram import NormalizedProgram, NRef
+
+Matrix = tuple[tuple[int, ...], ...]
+
+
+def linear_part(ref: NRef, depth: int) -> Matrix:
+    """The linear part ``M`` of the subscript function (rows = dimensions)."""
+    rows = []
+    for sub in ref.subscripts:
+        coeffs = sub.coeffs
+        rows.append(tuple(coeffs.get(f"I{d}", 0) for d in range(1, depth + 1)))
+    return tuple(rows)
+
+
+def constant_part(ref: NRef) -> tuple[int, ...]:
+    """The constant part ``m`` of the subscript function."""
+    return tuple(sub.constant for sub in ref.subscripts)
+
+
+def ugs_key(ref: NRef, depth: int) -> tuple:
+    """The uniformly-generated-set key: same array, same linear part."""
+    return (id(ref.array), linear_part(ref, depth))
+
+
+def uniformly_generated_sets(nprog: NormalizedProgram) -> list[list[NRef]]:
+    """Partition all references into uniformly generated sets."""
+    groups: dict[tuple, list[NRef]] = {}
+    for ref in nprog.refs:
+        groups.setdefault(ugs_key(ref, nprog.depth), []).append(ref)
+    return list(groups.values())

@@ -1,0 +1,17 @@
+"""Trace-driven cache simulation (the paper's validation baseline)."""
+
+from repro.sim.cache import SetAssocLRUCache
+from repro.sim.reference_interp import interpret_accesses, reference_trace
+from repro.sim.simulator import SimReport, simulate
+from repro.sim.trace import TraceEntry, collect_walker_trace, naive_trace
+
+__all__ = [
+    "SetAssocLRUCache",
+    "interpret_accesses",
+    "reference_trace",
+    "SimReport",
+    "simulate",
+    "TraceEntry",
+    "collect_walker_trace",
+    "naive_trace",
+]

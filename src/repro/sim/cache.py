@@ -1,0 +1,57 @@
+"""A trace-driven k-way set-associative LRU cache simulator.
+
+This is the paper's validation baseline (Fig. 7 feeds the same reference
+information to "our algorithms" and to a cache simulator).  With
+fetch-on-write, loads and stores are handled identically, so the simulator
+only needs the byte address stream the walker produces.
+"""
+
+from __future__ import annotations
+
+from repro.layout.cache import CacheConfig
+
+
+class SetAssocLRUCache:
+    """Cache state: per-set LRU stacks of memory lines.
+
+    Python dicts preserve insertion order, so each set is a dict whose first
+    key is the least recently used line — giving O(1) amortised hit, insert
+    and evict operations.
+    """
+
+    __slots__ = ("config", "_sets", "_num_sets", "_assoc", "_line_bytes")
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self._num_sets = config.num_sets
+        self._assoc = config.assoc
+        self._line_bytes = config.line_bytes
+        self._sets: list[dict[int, None]] = [dict() for _ in range(self._num_sets)]
+
+    def access_line(self, line: int) -> bool:
+        """Touch a memory line; returns True on a hit."""
+        s = self._sets[line % self._num_sets]
+        if line in s:
+            del s[line]  # move to MRU position
+            s[line] = None
+            return True
+        if len(s) >= self._assoc:
+            del s[next(iter(s))]  # evict LRU
+        s[line] = None
+        return False
+
+    def access_address(self, address: int) -> bool:
+        """Touch the line containing a byte address; returns True on a hit."""
+        return self.access_line(address // self._line_bytes)
+
+    def resident_lines(self) -> set[int]:
+        """The set of memory lines currently cached (for tests)."""
+        lines: set[int] = set()
+        for s in self._sets:
+            lines.update(s)
+        return lines
+
+    def flush(self) -> None:
+        """Empty the cache."""
+        for s in self._sets:
+            s.clear()

@@ -1,0 +1,59 @@
+"""Naive trace generation — an independent oracle for the walker.
+
+:func:`naive_trace` enumerates accesses by a completely different route than
+:class:`~repro.iteration.Walker`: it lists every reference's RIS with the
+polyhedral enumerator, tags each access with its full
+``(iteration vector, lexical position)`` and *sorts* by position.  Agreement
+between the two enumerations is a strong correctness check for the access
+order both the simulator and the miss equations rely on; tests exploit it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.layout.memory import MemoryLayout
+from repro.normalize.nprogram import NormalizedProgram, NRef
+from repro.iteration.position import Position, interleave
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One memory access with full ordering information."""
+
+    position: Position
+    ref_uid: int
+    address: int
+
+
+def naive_trace(nprog: NormalizedProgram, layout: MemoryLayout) -> list[TraceEntry]:
+    """The full access trace built by per-leaf enumeration plus sorting."""
+    entries: list[TraceEntry] = []
+    for leaf in nprog.leaves:
+        ris = nprog.ris(leaf)
+        points = list(ris.enumerate_points())
+        for ref in leaf.refs:
+            base = layout.base_of(ref.array)
+            offset_expr = (
+                ref.array.element_offset(ref.subscripts) * ref.array.element_size
+                + base
+            )
+            for point in points:
+                env = dict(zip(nprog.index_vars, point))
+                address = offset_expr.evaluate(env)
+                ivec = interleave(leaf.label, point)
+                entries.append(TraceEntry((ivec, ref.lexpos), ref.uid, address))
+    entries.sort(key=lambda e: e.position)
+    return entries
+
+
+def collect_walker_trace(walker) -> list[tuple[int, int]]:
+    """The walker's access stream as ``(ref_uid, address)`` pairs."""
+    out: list[tuple[int, int]] = []
+
+    def visit(cr, addr) -> bool:
+        out.append((cr.nref.uid, addr))
+        return False
+
+    walker.walk(visit)
+    return out

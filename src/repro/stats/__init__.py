@@ -1,0 +1,17 @@
+"""Sampling statistics used by ``EstimateMisses`` (Fig. 6)."""
+
+from repro.stats.confidence import (
+    DEFAULT_FALLBACK,
+    achievable,
+    proportion_interval,
+    sample_size,
+    z_value,
+)
+
+__all__ = [
+    "DEFAULT_FALLBACK",
+    "achievable",
+    "proportion_interval",
+    "sample_size",
+    "z_value",
+]

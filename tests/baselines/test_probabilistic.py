@@ -1,0 +1,108 @@
+"""Tests for the Fraguela-style probabilistic baseline (Table 7 comparator)."""
+
+import random
+
+import pytest
+
+from repro import CacheConfig, prepare, run_simulation
+from repro.baselines import probabilistic_misses
+from repro.baselines.probabilistic import _reuse_fraction, _window_iterations
+from repro.cme import estimate_misses
+from repro.ir import ProgramBuilder
+from repro.kernels import build_mmt
+from repro.normalize import normalize
+from repro.layout import layout_for_refs
+from repro.reuse import build_reuse_table
+
+
+def scan_program(n=64):
+    pb = ProgramBuilder("SCAN")
+    a = pb.array("A", (n,))
+    with pb.subroutine("MAIN"):
+        with pb.do("T", 1, 2):
+            with pb.do("I", 1, n) as i:
+                pb.assign(a[i])
+    return normalize(pb.build().main)
+
+
+class TestMachinery:
+    def test_reuse_fraction_unit_shift(self):
+        nprog = scan_program(64)
+        table = build_reuse_table(nprog, 32)
+        ref = nprog.refs[0]
+        # self-temporal along T: producer exists for T=2 only -> fraction 1/2
+        rv = next(
+            v for v in table.vectors_for(ref) if v.index_part() == (1, 0)
+        )
+        assert _reuse_fraction(nprog, ref, rv) == pytest.approx(0.5)
+
+    def test_reuse_fraction_spatial_within_line(self):
+        nprog = scan_program(64)
+        table = build_reuse_table(nprog, 32)
+        ref = nprog.refs[0]
+        rv = next(
+            v for v in table.vectors_for(ref) if v.index_part() == (0, 1)
+        )
+        # producer I-1 exists for I >= 2: fraction 63/64
+        assert _reuse_fraction(nprog, ref, rv) == pytest.approx(63 / 64)
+
+    def test_window_iterations_scales_with_depth(self):
+        nprog = scan_program(64)
+        table = build_reuse_table(nprog, 32)
+        ref = nprog.refs[0]
+        near = next(v for v in table.vectors_for(ref) if v.index_part() == (0, 1))
+        far = next(v for v in table.vectors_for(ref) if v.index_part() == (1, 0))
+        extents = [2, 64]
+        assert _window_iterations(near, extents) < _window_iterations(far, extents)
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def mmt(self):
+        return prepare(build_mmt(24, 12, 6))
+
+    def test_ratio_in_unit_interval(self, mmt):
+        cache = CacheConfig.kb(1, 32, 1)
+        report = probabilistic_misses(mmt.nprog, mmt.layout, cache)
+        assert 0.0 <= report.miss_ratio <= 1.0
+        assert report.total_accesses > 0
+
+    def test_reference_without_reuse_is_all_miss(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (8,))
+        with pb.subroutine("MAIN"):
+            with pb.do("I", 1, 8) as i:
+                pb.assign(a[8 * i - 7])  # stride 8 elements: no reuse at Ls=4
+        nprog = normalize(pb.build().main)
+        layout = layout_for_refs(nprog.refs)
+        report = probabilistic_misses(nprog, layout, CacheConfig.kb(32, 32, 1))
+        assert report.miss_ratio == pytest.approx(1.0)
+
+    def test_estimate_beats_probabilistic_on_mmt(self, mmt):
+        """The Table 7 claim: Δ_E < Δ_P across cache configurations."""
+        wins = 0
+        configs = [(1, 32, 1), (1, 32, 2), (4, 64, 2)]
+        for kb, line, k in configs:
+            cache = CacheConfig.kb(kb, line, k)
+            sim = run_simulation(mmt, cache).miss_ratio_percent
+            est = estimate_misses(
+                mmt.nprog,
+                mmt.layout,
+                cache,
+                reuse=mmt.reuse_table(cache.line_bytes),
+                walker=mmt.walker,
+                rng=random.Random(0),
+            ).miss_ratio_percent
+            prob = probabilistic_misses(
+                mmt.nprog, mmt.layout, cache, reuse=mmt.reuse_table(cache.line_bytes)
+            ).miss_ratio_percent
+            if abs(est - sim) <= abs(prob - sim):
+                wins += 1
+        assert wins >= 2  # EstimateMisses wins (at least) nearly everywhere
+
+    def test_probabilistic_is_fast(self, mmt):
+        cache = CacheConfig.kb(1, 32, 1)
+        report = probabilistic_misses(
+            mmt.nprog, mmt.layout, cache, reuse=mmt.reuse_table(cache.line_bytes)
+        )
+        assert report.elapsed_seconds < 5.0

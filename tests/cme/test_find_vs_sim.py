@@ -1,0 +1,209 @@
+"""Integration: FindMisses against the cache simulator (the Table 3 claim).
+
+For programs whose references are all uniformly generated, the analytical
+model must agree with simulation *exactly*; in general it may only
+over-estimate (the paper's conservatism for non-uniform reuse).
+"""
+
+import pytest
+
+from repro.ir import ProgramBuilder
+from repro.layout import CacheConfig, MemoryLayout, layout_for_refs
+from repro.normalize import normalize
+from repro.cme import find_misses
+from repro.sim import simulate
+
+from tests.fixtures import figure1_program
+
+
+def prepared(pb, align=32):
+    prog = pb.build()
+    nprog = normalize(prog.main)
+    layout = layout_for_refs(
+        nprog.refs, declared_order=prog.global_arrays, align=align
+    )
+    return nprog, layout
+
+
+def assert_exact(nprog, layout, cache):
+    analytic = find_misses(nprog, layout, cache)
+    simulated = simulate(nprog, layout, cache)
+    assert analytic.total_accesses == simulated.total_accesses
+    assert analytic.total_misses == simulated.total_misses
+    # exact agreement per reference as well
+    for ref in nprog.refs:
+        a = analytic.result_for(ref)
+        assert a.misses == simulated.misses[ref.uid], ref.name()
+    return analytic, simulated
+
+
+def assert_conservative(nprog, layout, cache, tolerance=0.0):
+    analytic = find_misses(nprog, layout, cache)
+    simulated = simulate(nprog, layout, cache)
+    assert analytic.total_accesses == simulated.total_accesses
+    assert analytic.total_misses >= simulated.total_misses - 1e-9
+    if tolerance:
+        assert (
+            analytic.miss_ratio - simulated.miss_ratio
+        ) <= tolerance
+    return analytic, simulated
+
+
+class TestExactAgreement:
+    def test_sequential_scan(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (64,))
+        with pb.subroutine("MAIN"):
+            with pb.do("I", 1, 64) as i:
+                pb.assign(a[i])
+        nprog, layout = prepared(pb)
+        analytic, _ = assert_exact(nprog, layout, CacheConfig.kb(32, 32, 1))
+        assert analytic.total_misses == 16  # one per 32B line
+
+    def test_repeated_scan_temporal_reuse_across_time_loop(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (64,))
+        with pb.subroutine("MAIN"):
+            with pb.do("T", 1, 3):
+                with pb.do("I", 1, 64) as i:
+                    pb.assign(a[i])
+        nprog, layout = prepared(pb)
+        analytic, _ = assert_exact(nprog, layout, CacheConfig.kb(32, 32, 1))
+        assert analytic.total_misses == 16  # later sweeps all hit
+
+    def test_conflict_ping_pong_direct_mapped(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (128,))  # exactly one 1KB cache apart
+        b = pb.array("B", (128,))
+        with pb.subroutine("MAIN"):
+            with pb.do("I", 1, 128) as i:
+                pb.assign(b[i], a[i])
+        prog = pb.build()
+        nprog = normalize(prog.main)
+        layout = MemoryLayout(prog.global_arrays, align=1024)
+        analytic, _ = assert_exact(nprog, layout, CacheConfig.kb(1, 32, 1))
+        assert analytic.total_misses == 256  # every access ping-pongs
+
+    def test_conflicts_resolved_by_2way(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (128,))
+        b = pb.array("B", (128,))
+        with pb.subroutine("MAIN"):
+            with pb.do("I", 1, 128) as i:
+                pb.assign(b[i], a[i])
+        prog = pb.build()
+        nprog = normalize(prog.main)
+        layout = MemoryLayout(prog.global_arrays, align=1024)
+        analytic, _ = assert_exact(nprog, layout, CacheConfig.kb(1, 32, 2))
+        assert analytic.total_misses == 64
+
+    def test_capacity_misses(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (512,))  # 4KB footprint, 1KB cache
+        with pb.subroutine("MAIN"):
+            with pb.do("T", 1, 2):
+                with pb.do("I", 1, 512) as i:
+                    pb.assign(a[i])
+        nprog, layout = prepared(pb)
+        assert_exact(nprog, layout, CacheConfig.kb(1, 32, 1))
+
+    def test_stencil_rows_2d(self):
+        """A 2-D Jacobi-like stencil: spatial + group-temporal reuse."""
+        n = 20
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (n + 2, n + 2))
+        b = pb.array("B", (n + 2, n + 2))
+        with pb.subroutine("MAIN"):
+            with pb.do("J", 2, n + 1) as j:
+                with pb.do("I", 2, n + 1) as i:
+                    pb.assign(
+                        b[i, j], a[i - 1, j], a[i + 1, j], a[i, j - 1], a[i, j + 1]
+                    )
+        nprog, layout = prepared(pb)
+        for assoc in (1, 2, 4):
+            assert_exact(nprog, layout, CacheConfig.kb(32, 32, assoc))
+
+    def test_inter_nest_reuse(self):
+        """Whole-program reuse across two separate nests (the paper's pitch)."""
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (64,))
+        b = pb.array("B", (64,))
+        with pb.subroutine("MAIN"):
+            with pb.do("I", 1, 64) as i:
+                pb.assign(a[i])
+            with pb.do("I", 1, 64) as i:
+                pb.assign(b[i], a[i])
+        nprog, layout = prepared(pb)
+        analytic, _ = assert_exact(nprog, layout, CacheConfig.kb(32, 32, 1))
+        # A: 16 cold in nest 1, all hits in nest 2; B: 16 cold.
+        assert analytic.total_misses == 32
+
+    def test_column_major_matters(self):
+        """Row-wise traversal of a column-major array: no spatial locality."""
+        n = 16
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (n, n))
+        with pb.subroutine("MAIN"):
+            with pb.do("I", 1, n) as i:  # row index fixed per inner sweep
+                with pb.do("J", 1, n) as j:
+                    pb.assign(a[i, j])  # stride n*8 bytes between accesses
+        nprog, layout = prepared(pb)
+        analytic, simulated = assert_exact(nprog, layout, CacheConfig.kb(32, 32, 1))
+        # Every line still visited; with a 32KB cache nothing is evicted:
+        # misses = number of distinct lines of A.
+        assert analytic.total_misses == n * n // 4
+
+
+class TestConservative:
+    def test_figure1_program(self):
+        """Fig. 1 has non-uniformly-generated A refs: small over-estimation only."""
+        prog, _, _ = figure1_program(16)
+        nprog = normalize(prog.main)
+        layout = layout_for_refs(
+            nprog.refs, declared_order=prog.global_arrays, align=32
+        )
+        for assoc in (1, 2):
+            analytic, simulated = assert_conservative(
+                nprog, layout, CacheConfig.kb(32, 32, assoc), tolerance=0.10
+            )
+
+    def test_triangular_nest(self):
+        pb = ProgramBuilder("P")
+        n = 16
+        a = pb.array("A", (n, n))
+        with pb.subroutine("MAIN"):
+            with pb.do("J", 1, n) as j:
+                with pb.do("I", j, n) as i:
+                    pb.assign(a[i, j])
+        nprog, layout = prepared(pb)
+        assert_exact(nprog, layout, CacheConfig.kb(32, 32, 1))
+
+    def test_guarded_reference(self):
+        pb = ProgramBuilder("P")
+        n = 16
+        a = pb.array("A", (n,))
+        with pb.subroutine("MAIN"):
+            with pb.do("T", 1, 2):
+                with pb.do("I", 1, n) as i:
+                    with pb.if_(i.le(8)):
+                        pb.assign(a[i])
+        nprog, layout = prepared(pb)
+        assert_conservative(nprog, layout, CacheConfig.kb(32, 32, 1))
+
+
+class TestSmallCachesStress:
+    @pytest.mark.parametrize("assoc", [1, 2, 4])
+    @pytest.mark.parametrize("size_kb", [1, 2])
+    def test_stencil_small_caches(self, size_kb, assoc):
+        """Small caches force replacement misses; model must stay conservative
+        and in practice exact for this uniformly generated stencil."""
+        n = 12
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (n + 2, n + 2))
+        b = pb.array("B", (n + 2, n + 2))
+        with pb.subroutine("MAIN"):
+            with pb.do("J", 2, n + 1) as j:
+                with pb.do("I", 2, n + 1) as i:
+                    pb.assign(b[i, j], a[i - 1, j], a[i + 1, j], a[i, j])
+        nprog, layout = prepared(pb)
+        assert_exact(nprog, layout, CacheConfig.kb(size_kb, 32, assoc))

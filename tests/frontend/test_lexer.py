@@ -1,0 +1,84 @@
+"""Lexer tests for the mini-FORTRAN frontend."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.frontend import tokenize
+from repro.frontend.lexer import EOF, INT, LABEL, NAME, NEWLINE, OP, REAL
+
+
+def kinds(source):
+    return [(t.kind, t.value) for t in tokenize(source) if t.kind != NEWLINE][:-1]
+
+
+class TestBasics:
+    def test_names_uppercased(self):
+        assert kinds("do i = 1, n") == [
+            (NAME, "DO"), (NAME, "I"), (OP, "="), (INT, "1"), (OP, ","), (NAME, "N"),
+        ]
+
+    def test_integers_and_reals(self):
+        toks = kinds("X = 0.5D0 + 2")
+        assert (REAL, "0.5D0") in toks
+        assert (INT, "2") in toks
+
+    def test_real_without_leading_digit(self):
+        toks = kinds("X = .25")
+        assert any(k == REAL for k, _ in toks)
+
+    def test_power_operator(self):
+        assert (OP, "**") in kinds("Y = X**2")
+
+    def test_relational_operators(self):
+        toks = kinds("IF (I .EQ. J .AND. K .LE. 5) THEN")
+        assert (OP, ".EQ.") in toks
+        assert (OP, ".AND.") in toks
+        assert (OP, ".LE.") in toks
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexerError):
+            tokenize("A = B ; C")
+
+
+class TestCommentsAndContinuations:
+    def test_c_comment_lines_dropped(self):
+        toks = tokenize("C this is a comment\n      A = 1\n")
+        assert all(t.value != "THIS" for t in toks)
+
+    def test_star_comment_lines_dropped(self):
+        toks = tokenize("* star comment\n      A = 1\n")
+        assert all(t.value != "STAR" for t in toks)
+
+    def test_bang_comments(self):
+        toks = kinds("A = 1 ! trailing comment")
+        assert (NAME, "A") in toks
+        assert all(v != "TRAILING" for _, v in toks)
+
+    def test_fixed_form_continuation(self):
+        source = "      A = B +\n     &    C\n"
+        toks = kinds(source)
+        assert (NAME, "C") in toks
+        # single logical line: only one NEWLINE before EOF
+        newlines = [t for t in tokenize(source) if t.kind == NEWLINE]
+        assert len(newlines) == 1
+
+    def test_ampersand_continuation(self):
+        source = "A = B + &\n    C\n"
+        newlines = [t for t in tokenize(source) if t.kind == NEWLINE]
+        assert len(newlines) == 1
+
+    def test_blank_lines_ignored(self):
+        toks = tokenize("\n\n      A = 1\n\n")
+        assert toks[-1].kind == EOF
+
+
+class TestLabels:
+    def test_statement_label(self):
+        toks = tokenize("100   CONTINUE\n")
+        assert toks[0].kind == LABEL
+        assert toks[0].value == "100"
+
+    def test_do_with_label_target(self):
+        toks = [t for t in tokenize("      DO 400 I3 = 2, M-1\n")]
+        assert toks[0].value == "DO"
+        assert toks[1].kind == LABEL or toks[1].kind == INT

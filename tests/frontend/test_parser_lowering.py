@@ -1,0 +1,323 @@
+"""Parser + lowering tests, including DSL-vs-FORTRAN semantic equivalence."""
+
+import pytest
+
+from repro.errors import NonAffineError, ParseError
+from repro.frontend import parse_program, parse_source
+from repro.ir import Call, Loop, If, program_stats, statements_of
+from repro.kernels import (
+    FORTRAN_KERNELS,
+    build_hydro,
+    build_mmt,
+    load_fortran_kernel,
+)
+from repro.layout import CacheConfig
+from repro import prepare, run_simulation
+
+
+class TestParser:
+    def test_program_and_subroutine_units(self):
+        sf = parse_source(
+            """
+      PROGRAM MAIN
+      DIMENSION A(10)
+      CALL F(A)
+      END
+      SUBROUTINE F(C)
+      DIMENSION C(10)
+      RETURN
+      END
+"""
+        )
+        assert [u.name for u in sf.units] == ["MAIN", "F"]
+        assert sf.unit("F").formals == ["C"]
+
+    def test_parameter_folding(self):
+        prog = parse_program(
+            """
+      PROGRAM P
+      PARAMETER (N=8, M=N*2)
+      DIMENSION A(M+1)
+      DO I = 1, N
+        A(I) = 1.0
+      ENDDO
+      END
+"""
+        )
+        assert prog.global_arrays[0].dims == (17,)
+
+    def test_labelled_do_continue(self):
+        prog = parse_program(
+            """
+      PROGRAM P
+      DIMENSION A(10)
+      DO 100 I = 1, 10
+        A(I) = 0.0
+100   CONTINUE
+      END
+"""
+        )
+        loop = prog.main.body[0]
+        assert isinstance(loop, Loop)
+        assert len(loop.body) == 1
+
+    def test_shared_do_labels_mgrid_style(self):
+        """Two nested DOs ending on the same CONTINUE (Fig. 8's MGRID)."""
+        prog = parse_program(
+            """
+      PROGRAM P
+      DIMENSION A(10,10)
+      DO 200 I = 1, 10
+        DO 200 J = 1, 10
+          A(J,I) = 0.0
+200   CONTINUE
+      END
+"""
+        )
+        outer = prog.main.body[0]
+        assert isinstance(outer, Loop) and outer.var == "I"
+        inner = outer.body[0]
+        assert isinstance(inner, Loop) and inner.var == "J"
+
+    def test_labelled_terminal_statement_inside_loop(self):
+        prog = parse_program(
+            """
+      PROGRAM P
+      DIMENSION A(10)
+      DO 100 I = 1, 10
+100     A(I) = 0.0
+      END
+"""
+        )
+        loop = prog.main.body[0]
+        assert isinstance(loop.body[0].__class__, type)
+        assert len(loop.body) == 1
+
+    def test_block_if(self):
+        prog = parse_program(
+            """
+      PROGRAM P
+      DIMENSION A(10)
+      DO I = 1, 10
+        IF (I .EQ. 5) THEN
+          A(I) = 0.0
+        ENDIF
+      ENDDO
+      END
+"""
+        )
+        assert isinstance(prog.main.body[0].body[0], If)
+
+    def test_one_line_if(self):
+        prog = parse_program(
+            """
+      PROGRAM P
+      DIMENSION A(10)
+      DO I = 1, 10
+        IF (I .GE. 3) A(I) = 0.0
+      ENDDO
+      END
+"""
+        )
+        guard_node = prog.main.body[0].body[0]
+        assert isinstance(guard_node, If)
+        assert len(guard_node.body) == 1
+
+    def test_else_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program(
+                """
+      PROGRAM P
+      DIMENSION A(10)
+      DO I = 1, 10
+        IF (I .EQ. 1) THEN
+          A(I) = 0.0
+        ELSE
+          A(I) = 1.0
+        ENDIF
+      ENDDO
+      END
+"""
+            )
+
+    def test_io_statements_skipped(self):
+        prog = parse_program(
+            """
+      PROGRAM P
+      DIMENSION A(10)
+      WRITE(6,*) 'HELLO'
+      DO I = 1, 10
+        A(I) = 0.0
+      ENDDO
+      END
+"""
+        )
+        assert len(prog.main.body) == 1
+
+    def test_do_with_step(self):
+        prog = parse_program(
+            """
+      PROGRAM P
+      DIMENSION A(100)
+      DO I = 1, 100, 25
+        A(I) = 0.0
+      ENDDO
+      END
+"""
+        )
+        assert prog.main.body[0].step == 25
+
+
+class TestLowering:
+    def test_reads_in_source_order_then_write(self):
+        prog = parse_program(
+            """
+      PROGRAM P
+      DIMENSION A(10), B(10), C(10)
+      DO I = 1, 10
+        C(I) = A(I+1) + B(I-1)
+      ENDDO
+      END
+"""
+        )
+        stmt = next(statements_of(prog.main.body))
+        names = [r.array.name for r in stmt.refs]
+        writes = [r.is_write for r in stmt.refs]
+        assert names == ["A", "B", "C"]
+        assert writes == [False, False, True]
+
+    def test_scalar_assignment_keeps_array_reads(self):
+        prog = parse_program(
+            """
+      PROGRAM P
+      DIMENSION A(10)
+      DO I = 1, 10
+        RA = A(I)
+      ENDDO
+      END
+"""
+        )
+        stmt = next(statements_of(prog.main.body))
+        assert len(stmt.refs) == 1
+        assert not stmt.refs[0].is_write
+
+    def test_intrinsic_arguments_still_read(self):
+        prog = parse_program(
+            """
+      PROGRAM P
+      DIMENSION A(10), B(10)
+      DO I = 1, 10
+        B(I) = SQRT(A(I))
+      ENDDO
+      END
+"""
+        )
+        stmt = next(statements_of(prog.main.body))
+        assert [r.array.name for r in stmt.refs] == ["A", "B"]
+
+    def test_non_affine_subscript_rejected(self):
+        with pytest.raises(NonAffineError):
+            parse_program(
+                """
+      PROGRAM P
+      DIMENSION A(10), IDX(10)
+      DO I = 1, 10
+        A(IDX(I)) = 0.0
+      ENDDO
+      END
+"""
+            )
+
+    def test_scalar_in_subscript_rejected(self):
+        with pytest.raises(NonAffineError):
+            parse_program(
+                """
+      PROGRAM P
+      DIMENSION A(10)
+      DO I = 1, 10
+        A(K) = 0.0
+      ENDDO
+      END
+"""
+            )
+
+    def test_call_actual_kinds(self):
+        prog = parse_program(
+            """
+      PROGRAM P
+      DIMENSION A(10,10)
+      DO I = 1, 10
+        CALL F(X, A, A(I,1))
+      ENDDO
+      END
+      SUBROUTINE F(Y, C, D)
+      DIMENSION C(10,10), D(10,10)
+      RETURN
+      END
+"""
+        )
+        call = prog.main.body[0].body[0]
+        assert isinstance(call, Call)
+        from repro.ir import ActualArray, ActualElement, ActualScalar
+
+        assert isinstance(call.actuals[0], ActualScalar)
+        assert isinstance(call.actuals[1], ActualArray)
+        assert isinstance(call.actuals[2], ActualElement)
+
+
+class TestFortranKernels:
+    @pytest.mark.parametrize("name", FORTRAN_KERNELS)
+    def test_bundled_kernels_parse(self, name):
+        prog = load_fortran_kernel(name)
+        assert program_stats(prog).references > 0
+
+    def test_hydro_fortran_matches_dsl_semantics(self):
+        """The frontend and the DSL builder must produce identical traces."""
+        source = f"""
+      PROGRAM HYDRO
+      PARAMETER (JN=8, KN=8)
+      REAL*8 ZA, ZP, ZQ, ZR, ZM, ZB, ZU, ZV, ZZ
+      DIMENSION ZA(JN+1,KN+1), ZP(JN+1,KN+1), ZQ(JN+1,KN+1)
+      DIMENSION ZR(JN+1,KN+1), ZM(JN+1,KN+1)
+      DIMENSION ZB(JN+1,KN+1), ZU(JN+1,KN+1), ZV(JN+1,KN+1)
+      DIMENSION ZZ(JN+1,KN+1)
+      DO K = 2, KN
+        DO J = 2, JN
+          ZA(J,K) = (ZP(J-1,K+1) + ZQ(J-1,K+1) - ZP(J-1,K) - ZQ(J-1,K))
+     &      * (ZR(J,K) + ZR(J-1,K)) / (ZM(J-1,K) + ZM(J-1,K+1))
+          ZB(J,K) = (ZP(J-1,K) + ZQ(J-1,K) - ZP(J,K) - ZQ(J,K))
+     &      * (ZR(J,K) + ZR(J,K-1)) / (ZM(J,K) + ZM(J-1,K))
+        ENDDO
+      ENDDO
+      DO K = 2, KN
+        DO J = 2, JN
+          ZU(J,K) = ZU(J,K) + (ZA(J,K)*(ZZ(J,K) - ZZ(J+1,K))
+     &      - ZA(J-1,K)*(ZZ(J-1,K))
+     &      - ZB(J,K)*(ZZ(J,K-1)) + ZB(J,K+1)*(ZZ(J,K+1)))
+          ZV(J,K) = ZV(J,K) + (ZA(J,K)*(ZR(J,K) - ZR(J+1,K))
+     &      - ZA(J-1,K)*(ZR(J-1,K))
+     &      - ZB(J,K)*(ZR(J,K-1)) + ZB(J,K+1)*(ZR(J,K+1)))
+        ENDDO
+      ENDDO
+      DO K = 2, KN
+        DO J = 2, JN
+          ZR(J,K) = ZR(J,K) + ZU(J,K)
+          ZZ(J,K) = ZZ(J,K) + ZV(J,K)
+        ENDDO
+      ENDDO
+      END
+"""
+        from_fortran = prepare(parse_program(source))
+        from_dsl = prepare(build_hydro(8, 8))
+        cache = CacheConfig.kb(2, 32, 1)
+        sim_f = run_simulation(from_fortran, cache)
+        sim_d = run_simulation(from_dsl, cache)
+        assert sim_f.total_accesses == sim_d.total_accesses
+        assert sim_f.total_misses == sim_d.total_misses
+
+    def test_mmt_fortran_matches_dsl_reference_count(self):
+        prog = load_fortran_kernel("mmt")
+        dsl = build_mmt(100, 100, 50)
+        assert (
+            program_stats(prog).references == program_stats(dsl).references
+        )

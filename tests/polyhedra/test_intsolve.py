@@ -1,0 +1,132 @@
+"""Unit and property tests for the integer linear solver."""
+
+from hypothesis import given, strategies as st
+
+from repro.polyhedra.intsolve import (
+    hermite_normal_form,
+    is_zero_vector,
+    matvec,
+    nullspace_basis,
+    solve_integer,
+)
+
+
+class TestHermiteNormalForm:
+    def test_identity(self):
+        h, u, pivots = hermite_normal_form([[1, 0], [0, 1]])
+        assert len(pivots) == 2
+        assert matvec(h, [1, 0]) == matvec(h, [1, 0])  # sanity on shape
+
+    def test_h_equals_a_times_u(self):
+        a = [[2, 4, 4], [-6, 6, 12], [10, 4, 16]]
+        h, u, _ = hermite_normal_form(a)
+        n = 3
+        for i in range(3):
+            for j in range(n):
+                assert h[i][j] == sum(a[i][k] * u[k][j] for k in range(n))
+
+    def test_u_is_unimodular(self):
+        a = [[2, 4], [3, 5]]
+        _, u, _ = hermite_normal_form(a)
+        det = u[0][0] * u[1][1] - u[0][1] * u[1][0]
+        assert det in (1, -1)
+
+    def test_pivot_rows_strictly_increase(self):
+        a = [[0, 0, 1], [1, 2, 3], [2, 4, 7]]
+        _, _, pivots = hermite_normal_form(a)
+        rows = [r for r, _ in pivots]
+        assert rows == sorted(rows)
+        assert len(set(rows)) == len(rows)
+
+    def test_zero_matrix(self):
+        h, u, pivots = hermite_normal_form([[0, 0], [0, 0]])
+        assert pivots == []
+        assert all(v == 0 for row in h for v in row)
+
+
+class TestSolveInteger:
+    def test_unique_solution(self):
+        # The paper's running example: M = [[0,1],[1,0]], b = (-1, 0).
+        x = solve_integer([[0, 1], [1, 0]], [-1, 0])
+        assert x == [0, -1]
+
+    def test_full_rank_2x2(self):
+        x = solve_integer([[2, 1], [1, 1]], [5, 3])
+        assert x == [2, 1]
+
+    def test_no_integer_solution(self):
+        assert solve_integer([[2]], [3]) is None
+
+    def test_inconsistent(self):
+        assert solve_integer([[1, 1], [1, 1]], [0, 1]) is None
+
+    def test_underdetermined(self):
+        x = solve_integer([[1, 1]], [4])
+        assert x is not None
+        assert x[0] + x[1] == 4
+
+    def test_empty_columns(self):
+        assert solve_integer([[], []], [0, 0]) == []
+        assert solve_integer([[], []], [1, 0]) is None
+
+    def test_gcd_condition(self):
+        # 4x + 6y = 2 solvable (gcd 2 divides 2); = 1 not solvable.
+        assert solve_integer([[4, 6]], [2]) is not None
+        assert solve_integer([[4, 6]], [1]) is None
+
+
+class TestNullspace:
+    def test_full_rank_has_empty_nullspace(self):
+        assert nullspace_basis([[1, 0], [0, 1]]) == []
+
+    def test_single_row(self):
+        basis = nullspace_basis([[1, 0]])
+        assert len(basis) == 1
+        assert matvec([[1, 0]], basis[0]) == [0]
+
+    def test_rank_deficient(self):
+        a = [[1, 2, 3], [2, 4, 6]]
+        basis = nullspace_basis(a)
+        assert len(basis) == 2
+        for v in basis:
+            assert is_zero_vector(matvec(a, v))
+
+    def test_no_rows_gives_standard_basis(self):
+        basis = nullspace_basis([])
+        assert basis == []  # a 0x? matrix has unknown column count
+
+
+small_matrices = st.integers(1, 3).flatmap(
+    lambda n: st.integers(1, 3).flatmap(
+        lambda m: st.lists(
+            st.lists(st.integers(-8, 8), min_size=n, max_size=n),
+            min_size=m,
+            max_size=m,
+        )
+    )
+)
+
+
+class TestProperties:
+    @given(small_matrices, st.data())
+    def test_solution_of_constructed_rhs(self, a, data):
+        """A·x0 = b always has a solution that the solver must find."""
+        n = len(a[0])
+        x0 = data.draw(st.lists(st.integers(-5, 5), min_size=n, max_size=n))
+        b = matvec(a, x0)
+        x = solve_integer(a, b)
+        assert x is not None
+        assert matvec(a, x) == b
+
+    @given(small_matrices)
+    def test_nullspace_vectors_are_in_kernel(self, a):
+        for v in nullspace_basis(a):
+            assert is_zero_vector(matvec(a, v))
+
+    @given(small_matrices)
+    def test_hnf_factorisation(self, a):
+        h, u, _ = hermite_normal_form(a)
+        m, n = len(a), len(a[0])
+        for i in range(m):
+            for j in range(n):
+                assert h[i][j] == sum(a[i][k] * u[k][j] for k in range(n))

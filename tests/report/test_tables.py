@@ -1,0 +1,40 @@
+"""Tests for the paper-style table renderer."""
+
+from repro.report import assoc_label, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["A", "Long header"], [(1, 2), (333, 4)])
+        lines = text.splitlines()
+        assert len({len(l) for l in lines}) == 1  # all lines equal width
+
+    def test_title(self):
+        text = format_table(["X"], [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = format_table(["X"], [(3.14159,)])
+        assert "3.14" in text
+        assert "3.14159" not in text
+
+    def test_mixed_cell_types(self):
+        text = format_table(["A", "B", "C"], [("name", 42, 0.5)])
+        assert "name" in text and "42" in text and "0.50" in text
+
+    def test_separator_row(self):
+        text = format_table(["AA", "BB"], [(1, 2)])
+        assert "-+-" in text.splitlines()[1]
+
+    def test_empty_rows(self):
+        text = format_table(["A"], [])
+        assert "A" in text
+
+
+class TestAssocLabel:
+    def test_direct(self):
+        assert assoc_label(1) == "direct"
+
+    def test_n_way(self):
+        assert assoc_label(2) == "2-way"
+        assert assoc_label(8) == "8-way"

@@ -1,0 +1,115 @@
+"""Normalisation preserves the access trace — checked against an
+independent interpreter that executes the *raw* IR directly."""
+
+import pytest
+
+from repro.errors import NonAnalysableError
+from repro.ir import ProgramBuilder
+from repro.iteration import Walker
+from repro.layout import layout_for_refs
+from repro.normalize import normalize
+from repro.sim import collect_walker_trace, reference_trace
+
+from tests.fixtures import figure1_program
+
+
+def traces_for(prog):
+    nprog = normalize(prog.main)
+    layout = layout_for_refs(nprog.refs, declared_order=prog.global_arrays)
+    normalised = [a for _, a in collect_walker_trace(Walker(nprog, layout))]
+    raw = reference_trace(prog.main, layout)
+    return raw, normalised
+
+
+class TestTracePreservation:
+    def test_figure1_program(self):
+        prog, _, _ = figure1_program(9)
+        raw, normalised = traces_for(prog)
+        assert raw == normalised
+
+    def test_strided_loop(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (100,))
+        with pb.subroutine("MAIN"):
+            with pb.do("I", 3, 97, step=7) as i:
+                pb.assign(a[i])
+        raw, normalised = traces_for(pb.build())
+        assert raw == normalised
+        assert len(raw) == len(range(3, 98, 7))
+
+    def test_negative_stride_loop(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (30,))
+        with pb.subroutine("MAIN"):
+            with pb.do("I", 30, 1, step=-3) as i:
+                pb.assign(a[i])
+        raw, normalised = traces_for(pb.build())
+        assert raw == normalised
+
+    def test_guarded_statements(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (20,))
+        with pb.subroutine("MAIN"):
+            with pb.do("I", 1, 20) as i:
+                with pb.if_(i.ge(5), i.le(15)):
+                    pb.assign(a[i])
+        raw, normalised = traces_for(pb.build())
+        assert raw == normalised
+        assert len(raw) == 11
+
+    def test_statements_between_loops(self):
+        """Loop sinking (the delicate rewrite) must not reorder accesses."""
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (10,))
+        b = pb.array("B", (10, 10))
+        with pb.subroutine("MAIN"):
+            with pb.do("I", 2, 9) as i:
+                pb.assign(a[i - 1])
+                with pb.do("J", i, 9) as j:
+                    pb.assign(b[j, i], a[j])
+                with pb.do("J", 1, 9) as j:
+                    pb.read(b[j, i])
+                pb.read(a[i])
+        raw, normalised = traces_for(pb.build())
+        assert raw == normalised
+
+    def test_imbalanced_depths(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (8, 8, 8))
+        b = pb.array("B", (8,))
+        with pb.subroutine("MAIN"):
+            with pb.do("I", 1, 8) as i:
+                pb.assign(b[i])
+                with pb.do("J", 1, 8) as j:
+                    with pb.do("K", 1, 8) as k:
+                        pb.assign(a[k, j, i])
+        raw, normalised = traces_for(pb.build())
+        assert raw == normalised
+
+    def test_blocked_loops(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (64,))
+        with pb.subroutine("MAIN"):
+            with pb.do("I2", 1, 64, step=16) as i2:
+                with pb.do("I", i2, i2 + 15) as i:
+                    pb.assign(a[i])
+        raw, normalised = traces_for(pb.build())
+        assert raw == normalised
+
+    def test_call_rejected(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (4,))
+        with pb.subroutine("MAIN"):
+            pb.call("F", a)
+        with pb.subroutine("F") as f:
+            f.array_formal("C", (4,))
+        layout = layout_for_refs([], declared_order=pb.build().global_arrays)
+        with pytest.raises(NonAnalysableError):
+            reference_trace(pb.build().main, layout)
+
+    def test_kernels_preserved(self):
+        from repro.kernels import build_hydro, build_mmt
+
+        for prog in (build_hydro(8, 8), build_mmt(8, 8, 4)):
+            raw, normalised = traces_for(prog)
+            assert raw == normalised

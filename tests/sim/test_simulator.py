@@ -1,0 +1,187 @@
+"""Cache simulator tests with hand-computed miss counts."""
+
+import pytest
+
+from repro.ir import ProgramBuilder
+from repro.layout import CacheConfig, MemoryLayout, layout_for_refs
+from repro.normalize import normalize
+from repro.sim import SetAssocLRUCache, simulate
+from repro.iteration import Walker
+
+
+def analyse_ready(pb):
+    prog = pb.build()
+    nprog = normalize(prog.main)
+    layout = layout_for_refs(nprog.refs, declared_order=prog.global_arrays)
+    return nprog, layout
+
+
+class TestLRUCacheState:
+    def test_cold_miss_then_hit(self):
+        c = SetAssocLRUCache(CacheConfig(64, 32, 1))
+        assert not c.access_line(0)
+        assert c.access_line(0)
+
+    def test_direct_mapped_conflict(self):
+        c = SetAssocLRUCache(CacheConfig(64, 32, 1))  # 2 sets
+        assert not c.access_line(0)
+        assert not c.access_line(2)  # same set, evicts line 0
+        assert not c.access_line(0)
+
+    def test_two_way_holds_two_lines(self):
+        c = SetAssocLRUCache(CacheConfig(128, 32, 2))  # 2 sets, 2-way
+        c.access_line(0)
+        c.access_line(2)
+        assert c.access_line(0)
+        assert c.access_line(2)
+
+    def test_lru_evicts_least_recent(self):
+        c = SetAssocLRUCache(CacheConfig(64, 32, 2))  # 1 set, 2-way
+        c.access_line(0)
+        c.access_line(1)
+        c.access_line(0)  # 1 is now LRU
+        c.access_line(2)  # evicts 1
+        assert c.access_line(0)
+        assert not c.access_line(1)
+
+    def test_access_address(self):
+        c = SetAssocLRUCache(CacheConfig(64, 32, 1))
+        assert not c.access_address(5)
+        assert c.access_address(31)  # same 32B line
+        assert not c.access_address(32)
+
+    def test_flush(self):
+        c = SetAssocLRUCache(CacheConfig(64, 32, 1))
+        c.access_line(0)
+        c.flush()
+        assert not c.access_line(0)
+        assert c.resident_lines() == {0}
+
+
+class TestSimulateKnownCounts:
+    def test_sequential_scan_spatial_locality(self):
+        """A(1..16) REAL*8 with 32B lines: one miss per 4 elements."""
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (16,))
+        with pb.subroutine("MAIN"):
+            with pb.do("I", 1, 16) as i:
+                pb.assign(a[i])
+        nprog, layout = analyse_ready(pb)
+        report = simulate(nprog, layout, CacheConfig.kb(32, 32, 1))
+        assert report.total_accesses == 16
+        assert report.total_misses == 4
+        assert report.miss_ratio == 0.25
+
+    def test_repeat_scan_all_hits_second_time(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (16,))
+        with pb.subroutine("MAIN"):
+            with pb.do("T", 1, 2):
+                with pb.do("I", 1, 16) as i:
+                    pb.assign(a[i])
+        nprog, layout = analyse_ready(pb)
+        report = simulate(nprog, layout, CacheConfig.kb(32, 32, 1))
+        assert report.total_accesses == 32
+        assert report.total_misses == 4  # second sweep hits in cache
+
+    def test_capacity_misses_when_footprint_exceeds_cache(self):
+        """Footprint 8KB > 1KB cache: every revisit misses again."""
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (1024,))  # 8KB
+        with pb.subroutine("MAIN"):
+            with pb.do("T", 1, 2):
+                with pb.do("I", 1, 1024) as i:
+                    pb.assign(a[i])
+        nprog, layout = analyse_ready(pb)
+        report = simulate(nprog, layout, CacheConfig.kb(1, 32, 1))
+        assert report.total_misses == 2 * 1024 // 4
+
+    def test_conflict_misses_direct_mapped_vs_2way(self):
+        """Two arrays exactly one cache apart: ping-pong in direct mapped."""
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (128,))  # 1KB
+        b = pb.array("B", (128,))
+        with pb.subroutine("MAIN"):
+            with pb.do("I", 1, 128) as i:
+                pb.assign(b[i], a[i])
+        prog = pb.build()
+        nprog = normalize(prog.main)
+        layout = MemoryLayout(prog.global_arrays, align=1024)
+        direct = simulate(nprog, layout, CacheConfig.kb(1, 32, 1))
+        two_way = simulate(nprog, layout, CacheConfig.kb(1, 32, 2))
+        # Direct mapped: A(i) and B(i) map to the same set -> every access misses.
+        assert direct.total_misses == 256
+        # 2-way: both lines coexist -> one miss per line per array.
+        assert two_way.total_misses == 64
+
+    def test_write_counts_as_access(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (4,))
+        b = pb.array("B", (4,))
+        with pb.subroutine("MAIN"):
+            with pb.do("I", 1, 4) as i:
+                pb.assign(b[i], a[i])  # one read + one write per iteration
+        nprog, layout = analyse_ready(pb)
+        report = simulate(nprog, layout, CacheConfig.kb(32, 32, 1))
+        assert report.total_accesses == 8
+
+    def test_per_reference_ratios(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (16,))
+        with pb.subroutine("MAIN"):
+            with pb.do("T", 1, 2):
+                with pb.do("I", 1, 16) as i:
+                    pb.assign(a[i])
+        nprog, layout = analyse_ready(pb)
+        report = simulate(nprog, layout, CacheConfig.kb(32, 32, 1))
+        ref = nprog.refs[0]
+        assert report.ref_miss_ratio(ref) == report.miss_ratio
+
+    def test_guarded_statement_skipped_when_false(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (16,))
+        with pb.subroutine("MAIN"):
+            with pb.do("I", 1, 16) as i:
+                with pb.if_(i.le(8)):
+                    pb.assign(a[i])
+        nprog, layout = analyse_ready(pb)
+        report = simulate(nprog, layout, CacheConfig.kb(32, 32, 1))
+        assert report.total_accesses == 8
+
+    def test_empty_report_ratio_zero(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (4,))
+        with pb.subroutine("MAIN"):
+            with pb.do("I", 1, 0) as i:  # empty loop range
+                pb.assign(a[i])
+        nprog, layout = analyse_ready(pb)
+        report = simulate(nprog, layout, CacheConfig.kb(32, 32, 1))
+        assert report.total_accesses == 0
+        assert report.miss_ratio == 0.0
+
+    def test_reuse_across_nests(self):
+        """Second nest re-reads what the first nest wrote (inter-nest reuse)."""
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (32,))
+        b = pb.array("B", (32,))
+        with pb.subroutine("MAIN"):
+            with pb.do("I", 1, 32) as i:
+                pb.assign(a[i])
+            with pb.do("I", 1, 32) as i:
+                pb.assign(b[i], a[i])
+        nprog, layout = analyse_ready(pb)
+        report = simulate(nprog, layout, CacheConfig.kb(32, 32, 1))
+        # A misses 8 (first nest), hits in second; B misses 8.
+        assert report.total_misses == 16
+
+    def test_walker_can_be_reused(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (16,))
+        with pb.subroutine("MAIN"):
+            with pb.do("I", 1, 16) as i:
+                pb.assign(a[i])
+        nprog, layout = analyse_ready(pb)
+        walker = Walker(nprog, layout)
+        r1 = simulate(nprog, layout, CacheConfig.kb(32, 32, 1), walker=walker)
+        r2 = simulate(nprog, layout, CacheConfig.kb(32, 32, 1), walker=walker)
+        assert r1.total_misses == r2.total_misses

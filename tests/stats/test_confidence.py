@@ -1,0 +1,79 @@
+"""Unit tests for the sampling statistics of Fig. 6."""
+
+import pytest
+
+from repro.stats import achievable, proportion_interval, sample_size, z_value
+
+
+class TestZValue:
+    def test_95_percent(self):
+        assert abs(z_value(0.95) - 1.9600) < 1e-3
+
+    def test_90_percent(self):
+        assert abs(z_value(0.90) - 1.6449) < 1e-3
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            z_value(1.0)
+        with pytest.raises(ValueError):
+            z_value(0.0)
+
+
+class TestSampleSize:
+    def test_paper_settings_unbounded(self):
+        # c = 95%, w = 0.05 -> n0 = 1.96^2 * 0.25 / 0.0025 ~= 385
+        assert sample_size(0.95, 0.05) == 385
+
+    def test_fallback_settings(self):
+        # c' = 90%, w' = 0.15 -> ~31 points
+        assert sample_size(0.90, 0.15) == 31
+
+    def test_finite_population_correction_reduces_n(self):
+        unbounded = sample_size(0.95, 0.05)
+        corrected = sample_size(0.95, 0.05, population=1000)
+        assert corrected < unbounded
+        assert corrected <= 1000
+
+    def test_tiny_population_capped(self):
+        assert sample_size(0.95, 0.05, population=10) <= 10
+
+    def test_zero_population(self):
+        assert sample_size(0.95, 0.05, population=0) == 0
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            sample_size(0.95, 0.0)
+
+
+class TestAchievable:
+    def test_large_population_achievable(self):
+        assert achievable(0.95, 0.05, 100_000)
+
+    def test_small_population_not_achievable(self):
+        assert not achievable(0.95, 0.05, 50)
+
+    def test_fallback_reaches_smaller_spaces(self):
+        # Some sizes achievable at (90%, 0.15) but not (95%, 0.05).
+        size = 200
+        assert not achievable(0.95, 0.05, size)
+        assert achievable(0.90, 0.15, size)
+
+
+class TestProportionInterval:
+    def test_contains_point_estimate(self):
+        lo, hi = proportion_interval(30, 100, 0.95)
+        assert lo <= 0.3 <= hi
+
+    def test_clamped_to_unit_interval(self):
+        lo, hi = proportion_interval(0, 100, 0.95)
+        assert lo == 0.0
+        lo, hi = proportion_interval(100, 100, 0.95)
+        assert hi == 1.0
+
+    def test_empty_sample(self):
+        assert proportion_interval(0, 0, 0.95) == (0.0, 0.0)
+
+    def test_narrower_with_more_samples(self):
+        lo1, hi1 = proportion_interval(30, 100, 0.95)
+        lo2, hi2 = proportion_interval(300, 1000, 0.95)
+        assert (hi2 - lo2) < (hi1 - lo1)

@@ -1,0 +1,82 @@
+"""CLI tests: every subcommand end to end via ``main(argv)``."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestStats:
+    def test_stats_swim(self, capsys):
+        assert main(["stats", "swim", "--size", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "#subroutines" in out
+        assert "A-able" in out
+
+    def test_stats_kernel(self, capsys):
+        assert main(["stats", "mmt", "--size", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "#references" in out
+
+
+class TestAnalyze:
+    def test_analyze_estimate(self, capsys):
+        rc = main(["analyze", "hydro", "--size", "16", "--cache", "2:32:1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "miss ratio" in out
+        assert "EstimateMisses" in out
+        assert "Worst references" in out
+
+    def test_analyze_find(self, capsys):
+        rc = main(
+            ["analyze", "mgrid", "--size", "8", "--cache", "2:32:2",
+             "--method", "find"]
+        )
+        assert rc == 0
+        assert "FindMisses" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_simulate(self, capsys):
+        rc = main(["simulate", "tomcatv", "--size", "16", "--steps", "1",
+                   "--cache", "2:32:1"])
+        assert rc == 0
+        assert "miss ratio" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_compare(self, capsys):
+        rc = main(["compare", "hydro", "--size", "16", "--cache", "2:32:1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Simulator" in out
+        assert "abs. error" in out
+
+
+class TestFortranInput:
+    def test_dot_f_file(self, tmp_path, capsys):
+        source = """
+      PROGRAM TINY
+      DIMENSION A(32)
+      DO I = 1, 32
+        A(I) = 0.0
+      ENDDO
+      END
+"""
+        path = tmp_path / "tiny.f"
+        path.write_text(source)
+        rc = main(["analyze", str(path), "--cache", "32:32:1",
+                   "--method", "find"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "TINY" in out
+
+
+class TestErrors:
+    def test_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "nonsense"])
+
+    def test_bad_cache_spec(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "hydro", "--size", "8", "--cache", "banana"])

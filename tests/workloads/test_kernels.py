@@ -1,0 +1,102 @@
+"""The Fig. 8 kernels: structural checks and FindMisses-vs-simulator validation."""
+
+import pytest
+
+from repro import CacheConfig, analyze, prepare, program_stats, run_simulation
+from repro.kernels import build_hydro, build_mgrid, build_mmt
+
+
+class TestHydro:
+    @pytest.fixture(scope="class")
+    def prepared(self):
+        return prepare(build_hydro(24, 24))
+
+    def test_structure(self):
+        stats = program_stats(build_hydro(10, 10))
+        assert stats.subroutines == 1
+        assert stats.call_statements == 0
+        # H1: 9 refs, H2: 9, H3: 11, H4: 11, H5: 3, H6: 3
+        assert stats.references == 46
+
+    @pytest.mark.parametrize("assoc", [1, 2, 4])
+    def test_findmisses_exact_table3_claim(self, prepared, assoc):
+        """Table 3: FindMisses and the simulator agree exactly on Hydro."""
+        cache = CacheConfig.kb(8, 32, assoc)
+        analytic = analyze(prepared, cache, method="find")
+        simulated = run_simulation(prepared, cache)
+        assert analytic.total_misses == simulated.total_misses
+        assert analytic.total_accesses == simulated.total_accesses
+
+    def test_three_nests_normalised(self, prepared):
+        assert len(prepared.nprog.roots) == 3
+        assert prepared.nprog.depth == 2
+
+
+class TestMgrid:
+    @pytest.fixture(scope="class")
+    def prepared(self):
+        return prepare(build_mgrid(10))
+
+    def test_structure(self):
+        stats = program_stats(build_mgrid(8))
+        assert stats.references == 3 + 4 + 4 + 6
+
+    @pytest.mark.parametrize("assoc", [1, 2, 4])
+    def test_findmisses_exact_table3_claim(self, prepared, assoc):
+        """Table 3: FindMisses and the simulator agree exactly on MGRID."""
+        cache = CacheConfig.kb(8, 32, assoc)
+        analytic = analyze(prepared, cache, method="find")
+        simulated = run_simulation(prepared, cache)
+        assert analytic.total_misses == simulated.total_misses
+
+    def test_imperfect_nest_depth(self, prepared):
+        assert prepared.nprog.depth == 3
+
+
+class TestMMT:
+    @pytest.fixture(scope="class")
+    def prepared(self):
+        return prepare(build_mmt(16, 16, 8))
+
+    def test_register_scalar_not_counted(self):
+        stats = program_stats(build_mmt(8, 8, 4))
+        # T1: 2 refs, T2: 1 (A read only), T3: 3.
+        assert stats.references == 6
+
+    def test_blocked_loops_normalise(self, prepared):
+        nprog = prepared.nprog
+        assert nprog.depth == 5  # J2, K2, (J|I), K, (J) after padding
+        # every point executes: trace length must match the blocked algebra
+        sim = run_simulation(prepared, CacheConfig.kb(8, 32, 1))
+        n, bj, bk = 16, 16, 8
+        blocks = (n // bj) * (n // bk)
+        copy = bj * bk * 2
+        compute = n * bk * (1 + 3 * bj)
+        assert sim.total_accesses == blocks * (copy + compute)
+
+    @pytest.mark.parametrize("assoc", [1, 2])
+    def test_findmisses_conservative_table3_claim(self, prepared, assoc):
+        """Table 3: MMT is slightly over-estimated, never under-estimated
+        (the transposed B/WB references are not uniformly generated)."""
+        cache = CacheConfig.kb(2, 32, assoc)
+        analytic = analyze(prepared, cache, method="find")
+        simulated = run_simulation(prepared, cache)
+        assert analytic.total_misses >= simulated.total_misses
+        assert (
+            analytic.miss_ratio_percent - simulated.miss_ratio_percent
+        ) < 5.0
+
+
+class TestEstimateOnKernels:
+    """Table 4: EstimateMisses stays close to the exact/simulated ratios."""
+
+    @pytest.mark.parametrize(
+        "builder,args",
+        [(build_hydro, (24, 24)), (build_mgrid, (10,)), (build_mmt, (16, 16, 8))],
+    )
+    def test_estimate_absolute_error_small(self, builder, args):
+        prepared = prepare(builder(*args))
+        cache = CacheConfig.kb(8, 32, 1)
+        est = analyze(prepared, cache, method="estimate", seed=3)
+        sim = run_simulation(prepared, cache)
+        assert abs(est.miss_ratio_percent - sim.miss_ratio_percent) < 3.0
