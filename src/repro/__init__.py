@@ -53,6 +53,7 @@ from repro.ir import (
 )
 from repro.layout import CacheConfig, MemoryLayout, layout_for_refs
 from repro.normalize import NormalizedProgram, normalize
+from repro.parallel import ParallelEngine, solve_parallel
 from repro.polyhedra import Affine, Var
 from repro.reuse import ReuseOptions, ReuseTable, build_reuse_table
 from repro.sim import SimReport, simulate
@@ -92,6 +93,8 @@ __all__ = [
     "layout_for_refs",
     "NormalizedProgram",
     "normalize",
+    "ParallelEngine",
+    "solve_parallel",
     "Affine",
     "Var",
     "ReuseOptions",

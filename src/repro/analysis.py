@@ -114,12 +114,16 @@ def analyze(
     width: float = 0.05,
     seed: int = 0,
     reuse_options: Optional[ReuseOptions] = None,
+    jobs: int = 1,
 ) -> MissReport:
     """Predict the cache behaviour analytically.
 
     ``method`` selects between the two solvers of Fig. 6: ``"estimate"``
     (statistical sampling at the paper's default c = 95%, w = 0.05) and
     ``"find"`` (exhaustive, exact when reuse information is complete).
+    ``jobs`` shards the per-reference work across worker processes
+    (``1`` = serial, ``0``/negative = all CPUs); the report is identical
+    for every job count.
     """
     prepared = _as_prepared(target)
     reuse = prepared.reuse_table(cache.line_bytes, reuse_options)
@@ -130,6 +134,7 @@ def analyze(
             cache,
             reuse=reuse,
             walker=prepared.walker,
+            jobs=jobs,
         )
     if method == "estimate":
         return estimate_misses(
@@ -140,7 +145,8 @@ def analyze(
             width=width,
             reuse=reuse,
             walker=prepared.walker,
-            rng=random.Random(seed),
+            seed=seed,
+            jobs=jobs,
         )
     raise ValueError(f"unknown method {method!r}; use 'find' or 'estimate'")
 

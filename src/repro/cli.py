@@ -70,6 +70,16 @@ def _add_workload_args(sub: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_jobs_arg(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the per-reference solve "
+        "(1 = serial, 0 = all CPUs); results are identical for any value",
+    )
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     """Entry point for the ``repro-cache`` console script."""
     parser = argparse.ArgumentParser(
@@ -87,6 +97,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     p_analyze.add_argument("--confidence", type=float, default=0.95)
     p_analyze.add_argument("--width", type=float, default=0.05)
     p_analyze.add_argument("--seed", type=int, default=0)
+    _add_jobs_arg(p_analyze)
 
     p_sim = subs.add_parser("simulate", help="trace-driven LRU simulation")
     _add_workload_args(p_sim)
@@ -96,6 +107,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     p_cmp.add_argument(
         "--method", choices=["estimate", "find"], default="estimate"
     )
+    _add_jobs_arg(p_cmp)
 
     p_stats = subs.add_parser("stats", help="Table 5 / Table 2 style statistics")
     p_stats.add_argument("workload")
@@ -136,13 +148,15 @@ def main(argv: Optional[list[str]] = None) -> int:
             confidence=args.confidence,
             width=args.width,
             seed=args.seed,
+            jobs=args.jobs,
         )
         print(
             f"{program.name} on {cache.describe()}: "
             f"miss ratio {report.miss_ratio_percent:.2f}% "
             f"({report.total_misses:.0f} of {report.total_accesses} accesses, "
             f"{report.method}, {report.elapsed_seconds:.2f}s, "
-            f"{report.analysed_points} points analysed)"
+            f"{report.analysed_points} points analysed, "
+            f"{report.jobs} job(s), {report.points_per_second:.0f} points/s)"
         )
         rows = [
             (r.ref_name, r.population, f"{100 * r.miss_ratio:.2f}")
@@ -164,7 +178,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         return 0
 
     # compare
-    analytic = analyze(prepared, cache, method=args.method)
+    analytic = analyze(prepared, cache, method=args.method, jobs=args.jobs)
     simulated = run_simulation(prepared, cache)
     err = abs(analytic.miss_ratio_percent - simulated.miss_ratio_percent)
     print(

@@ -2,8 +2,8 @@
 
 from repro.cme.point import Classification, Outcome, PointClassifier
 from repro.cme.result import MissReport, RefResult, compare_reports
-from repro.cme.find import find_misses
-from repro.cme.estimate import estimate_misses
+from repro.cme.find import find_misses, find_ref_misses
+from repro.cme.estimate import estimate_misses, estimate_ref_misses, ref_rng
 
 __all__ = [
     "Classification",
@@ -13,5 +13,8 @@ __all__ = [
     "RefResult",
     "compare_reports",
     "find_misses",
+    "find_ref_misses",
     "estimate_misses",
+    "estimate_ref_misses",
+    "ref_rng",
 ]

@@ -5,8 +5,15 @@ the user's confidence/interval ``(c, w)`` is drawn *uniformly* (count-
 weighted descent, so triangular and guarded spaces are unbiased) and each
 sampled point is classified with the same cold/replacement machinery as
 ``FindMisses``.  Per Fig. 6, an RIS too small for ``(c, w)`` falls back to
-the default ``(c', w') = (90%, 0.15)``, and if still too small is analysed
-exhaustively.
+the default ``(c', w') = (90%, 0.15)``, and if still too small it is
+analysed exhaustively.
+
+Each reference samples from its own generator seeded with
+``seed ^ ref.uid``.  This makes references statistically independent *and*
+individually reproducible: adding or removing a reference cannot perturb any
+other reference's sample (a single shared generator used to do exactly
+that), and it is what lets the parallel engine (:mod:`repro.parallel`)
+shard references across processes while producing bit-identical reports.
 
 The cost per sampled point is proportional to the reuse window, not to the
 trace length — this is the source of the orders-of-magnitude speedup over
@@ -29,6 +36,48 @@ from repro.cme.point import PointClassifier, Outcome
 from repro.cme.result import MissReport, RefResult
 
 
+def ref_rng(seed: int, ref: NRef) -> random.Random:
+    """The per-reference generator: ``random.Random(seed ^ ref.uid)``."""
+    return random.Random(seed ^ ref.uid)
+
+
+def estimate_ref_misses(
+    classifier: PointClassifier,
+    nprog: NormalizedProgram,
+    ref: NRef,
+    confidence: float = 0.95,
+    width: float = 0.05,
+    seed: int = 0,
+) -> RefResult:
+    """Sample and classify one reference (the shard unit, Fig. 6 inner loop)."""
+    ris = nprog.ris(ref.leaf)
+    volume = ris.count()
+    result = RefResult(ref.name(), ref.uid, population=volume)
+    if volume == 0:
+        return result
+    if achievable(confidence, width, volume):
+        points = ris.sample(
+            sample_size(confidence, width, volume), ref_rng(seed, ref)
+        )
+    elif achievable(*DEFAULT_FALLBACK, volume):
+        points = ris.sample(
+            sample_size(*DEFAULT_FALLBACK, volume), ref_rng(seed, ref)
+        )
+    else:
+        points = list(ris.enumerate_points())  # analyse all points
+    classify = classifier.classify
+    for point in points:
+        outcome = classify(ref, point).outcome
+        result.analysed += 1
+        if outcome is Outcome.COLD:
+            result.cold += 1
+        elif outcome is Outcome.REPLACEMENT:
+            result.replacement += 1
+        else:
+            result.hits += 1
+    return result
+
+
 def estimate_misses(
     nprog: NormalizedProgram,
     layout: MemoryLayout,
@@ -40,44 +89,44 @@ def estimate_misses(
     refs: Optional[Iterable[NRef]] = None,
     rng: Optional[random.Random] = None,
     reuse_options: Optional[ReuseOptions] = None,
+    seed: int = 0,
+    jobs: int = 1,
 ) -> MissReport:
     """Estimate per-reference and whole-program miss ratios by sampling.
 
     ``confidence``/``width`` are the paper's ``(c, w)``; the defaults match
-    the experiments of Tables 4 and 6 (c = 95%, w = 0.05).
+    the experiments of Tables 4 and 6 (c = 95%, w = 0.05).  ``seed`` is the
+    base of the per-reference seeds; the legacy ``rng`` argument is folded
+    into a base seed so older call sites stay deterministic.  ``jobs > 1``
+    shards references across a process pool with identical results.
     """
     started = time.perf_counter()
-    rng = rng if rng is not None else random.Random(0)
+    if rng is not None:
+        seed = rng.getrandbits(64)
     if reuse is None:
         reuse = build_reuse_table(nprog, cache.line_bytes, reuse_options)
+    targets = list(refs) if refs is not None else list(nprog.refs)
+    if jobs != 1:  # 0/negative/None mean "all CPUs" (resolved by the engine)
+        from repro.parallel import solve_parallel
+
+        return solve_parallel(
+            "estimate",
+            nprog,
+            layout,
+            cache,
+            reuse,
+            jobs,
+            refs=targets,
+            confidence=confidence,
+            width=width,
+            seed=seed,
+        )
     classifier = PointClassifier(nprog, layout, cache, reuse, walker)
     report = MissReport("EstimateMisses", cache)
-    targets = list(refs) if refs is not None else list(nprog.refs)
     for ref in targets:
-        ris = nprog.ris(ref.leaf)
-        volume = ris.count()
-        result = RefResult(ref.name(), ref.uid, population=volume)
-        if volume == 0:
-            report.results[ref.uid] = result
-            continue
-        if achievable(confidence, width, volume):
-            points = ris.sample(sample_size(confidence, width, volume), rng)
-        elif achievable(*DEFAULT_FALLBACK, volume):
-            points = ris.sample(
-                sample_size(*DEFAULT_FALLBACK, volume), rng
-            )
-        else:
-            points = list(ris.enumerate_points())  # analyse all points
-        classify = classifier.classify
-        for point in points:
-            outcome = classify(ref, point).outcome
-            result.analysed += 1
-            if outcome is Outcome.COLD:
-                result.cold += 1
-            elif outcome is Outcome.REPLACEMENT:
-                result.replacement += 1
-            else:
-                result.hits += 1
-        report.results[ref.uid] = result
+        report.results[ref.uid] = estimate_ref_misses(
+            classifier, nprog, ref, confidence, width, seed
+        )
     report.elapsed_seconds = time.perf_counter() - started
+    report.solver_seconds = report.elapsed_seconds
     return report

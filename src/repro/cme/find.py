@@ -5,6 +5,11 @@ exact whenever the reuse information is complete; the paper's Table 3 shows
 exact agreement with simulation for Hydro and MGRID and a slight
 over-estimation for MMT (whose transposed B references are not uniformly
 generated).
+
+The per-reference unit of work, :func:`find_ref_misses`, is deliberately
+free-standing: references are independent once the reuse table is built, so
+the parallel engine (:mod:`repro.parallel`) shards references across worker
+processes and calls the very same function.
 """
 
 from __future__ import annotations
@@ -21,6 +26,25 @@ from repro.cme.point import PointClassifier, Outcome
 from repro.cme.result import MissReport, RefResult
 
 
+def find_ref_misses(
+    classifier: PointClassifier, nprog: NormalizedProgram, ref: NRef
+) -> RefResult:
+    """Classify every iteration point of one reference (the shard unit)."""
+    ris = nprog.ris(ref.leaf)
+    result = RefResult(ref.name(), ref.uid, population=ris.count())
+    classify = classifier.classify
+    for point in ris.enumerate_points():
+        outcome = classify(ref, point).outcome
+        result.analysed += 1
+        if outcome is Outcome.COLD:
+            result.cold += 1
+        elif outcome is Outcome.REPLACEMENT:
+            result.replacement += 1
+        else:
+            result.hits += 1
+    return result
+
+
 def find_misses(
     nprog: NormalizedProgram,
     layout: MemoryLayout,
@@ -29,31 +53,29 @@ def find_misses(
     walker: Optional[Walker] = None,
     refs: Optional[Iterable[NRef]] = None,
     reuse_options: Optional[ReuseOptions] = None,
+    jobs: int = 1,
 ) -> MissReport:
     """Classify every iteration point of every reference.
 
     Parameters mirror :func:`~repro.cme.estimate.estimate_misses`; ``refs``
-    restricts the analysis to a subset of references (useful in tests).
+    restricts the analysis to a subset of references (useful in tests) and
+    ``jobs > 1`` shards the references across a process pool — the report is
+    guaranteed identical to the serial one.
     """
     started = time.perf_counter()
     if reuse is None:
         reuse = build_reuse_table(nprog, cache.line_bytes, reuse_options)
+    targets = list(refs) if refs is not None else list(nprog.refs)
+    if jobs != 1:  # 0/negative/None mean "all CPUs" (resolved by the engine)
+        from repro.parallel import solve_parallel
+
+        return solve_parallel(
+            "find", nprog, layout, cache, reuse, jobs, refs=targets
+        )
     classifier = PointClassifier(nprog, layout, cache, reuse, walker)
     report = MissReport("FindMisses", cache)
-    targets = list(refs) if refs is not None else list(nprog.refs)
     for ref in targets:
-        ris = nprog.ris(ref.leaf)
-        result = RefResult(ref.name(), ref.uid, population=ris.count())
-        classify = classifier.classify
-        for point in ris.enumerate_points():
-            outcome = classify(ref, point).outcome
-            result.analysed += 1
-            if outcome is Outcome.COLD:
-                result.cold += 1
-            elif outcome is Outcome.REPLACEMENT:
-                result.replacement += 1
-            else:
-                result.hits += 1
-        report.results[ref.uid] = result
+        report.results[ref.uid] = find_ref_misses(classifier, nprog, ref)
     report.elapsed_seconds = time.perf_counter() - started
+    report.solver_seconds = report.elapsed_seconds
     return report

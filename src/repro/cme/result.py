@@ -49,12 +49,26 @@ class RefResult:
 
 @dataclass
 class MissReport:
-    """Aggregate analysis outcome for a program."""
+    """Aggregate analysis outcome for a program.
+
+    Timing and parallelism metadata (``elapsed_seconds``, ``jobs``,
+    ``solver_seconds``) are excluded from equality: two reports are equal
+    when their classifications agree, which is exactly the determinism
+    guarantee of the parallel engine (serial and ``jobs=N`` runs must
+    compare equal).
+    """
 
     method: str
     cache: CacheConfig
     results: dict[int, RefResult] = field(default_factory=dict)
-    elapsed_seconds: float = 0.0
+    #: Wall-clock time of the whole solve (serial or parallel).
+    elapsed_seconds: float = field(default=0.0, compare=False)
+    #: Worker processes used (1 = the serial in-process path).
+    jobs: int = field(default=1, compare=False)
+    #: CPU time spent classifying points, summed across workers.  Equals
+    #: ``elapsed_seconds`` for serial runs; for parallel runs the ratio
+    #: ``solver_seconds / elapsed_seconds`` is the effective speedup.
+    solver_seconds: float = field(default=0.0, compare=False)
 
     def result_for(self, ref: NRef) -> RefResult:
         """The per-reference result of ``ref``."""
@@ -80,6 +94,19 @@ class MissReport:
         """The loop-nest miss ratio of Fig. 6 (population weighted)."""
         total = self.total_accesses
         return self.total_misses / total if total else 0.0
+
+    @property
+    def points_per_second(self) -> float:
+        """Classification throughput over the wall-clock solve time."""
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.analysed_points / self.elapsed_seconds
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """``solver_seconds / (jobs * elapsed_seconds)`` — 1.0 is ideal."""
+        denom = self.jobs * self.elapsed_seconds
+        return self.solver_seconds / denom if denom > 0.0 else 0.0
 
     @property
     def miss_ratio_percent(self) -> float:

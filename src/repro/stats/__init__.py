@@ -5,6 +5,7 @@ from repro.stats.confidence import (
     achievable,
     proportion_interval,
     sample_size,
+    wilson_interval,
     z_value,
 )
 
@@ -13,5 +14,6 @@ __all__ = [
     "achievable",
     "proportion_interval",
     "sample_size",
+    "wilson_interval",
     "z_value",
 ]

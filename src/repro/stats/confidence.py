@@ -76,3 +76,25 @@ def proportion_interval(
     p = successes / n
     half = z_value(confidence) * math.sqrt(max(p * (1.0 - p), 1e-12) / n)
     return (max(0.0, p - half), min(1.0, p + half))
+
+
+def wilson_interval(
+    successes: int, n: int, confidence: float
+) -> tuple[float, float]:
+    """Wilson score interval for a sample proportion.
+
+    Unlike the Wald interval of :func:`proportion_interval`, the Wilson
+    interval stays honest at the boundaries: a sample with zero observed
+    misses still yields a non-degenerate upper bound (≈ ``z²/(n+z²)``),
+    which is what the differential harness needs when diffing sampled miss
+    ratios against exhaustive ones on nearly-all-hit references.
+    """
+    if n <= 0:
+        return (0.0, 0.0)
+    z = z_value(confidence)
+    p = successes / n
+    z2 = z * z
+    denom = 1.0 + z2 / n
+    centre = (p + z2 / (2.0 * n)) / denom
+    half = (z / denom) * math.sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n))
+    return (max(0.0, centre - half), min(1.0, centre + half))

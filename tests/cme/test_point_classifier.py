@@ -123,6 +123,68 @@ class TestOutcomes:
         assert across.via.label_part() == (1,)
         assert across.via.producer.is_write
 
+    def test_guarded_producer_limits_group_reuse(self):
+        """Cold equations must reject producer points outside the guard:
+        A(I) is only written for I ≤ 8, so the second nest's reads reuse
+        lines up to the guard boundary and go cold beyond it."""
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (16,))
+        with pb.subroutine("MAIN"):
+            with pb.do("I", 1, 16) as i:
+                with pb.if_(i.le(8)):
+                    pb.assign(a[i])
+            with pb.do("I", 1, 16) as i:
+                pb.read(a[i])
+        cache = CacheConfig.kb(32, 32, 1)
+        nprog, classifier = classifier_for(pb, cache)
+        consumer = nprog.refs[1]
+        # I = 1: the guarded write at I = 1 satisfies its guard -> group hit.
+        head = classifier.classify(consumer, (1,))
+        assert head.outcome is Outcome.HIT
+        assert head.via.is_group
+        # I = 9 starts the third line (elements 9..12): every candidate
+        # producer point violates the guard, and no earlier consumer access
+        # touched the line -> cold miss.
+        assert classifier.classify(consumer, (9,)).outcome is Outcome.COLD
+        # I = 10 reuses the line the consumer itself fetched at I = 9.
+        follow = classifier.classify(consumer, (10,))
+        assert follow.outcome is Outcome.HIT
+        assert follow.via.is_self
+
+    def test_guarded_reference_classified_inside_its_own_ris(self):
+        """A guarded reference's own points follow the usual line pattern."""
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (16,))
+        with pb.subroutine("MAIN"):
+            with pb.do("I", 1, 16) as i:
+                with pb.if_(i.le(8)):
+                    pb.assign(a[i])
+        cache = CacheConfig.kb(32, 32, 1)
+        nprog, classifier = classifier_for(pb, cache)
+        ref = nprog.refs[0]
+        # Elements 1..4 share the first 32B line, 5..8 the second.
+        assert classifier.classify(ref, (1,)).outcome is Outcome.COLD
+        assert classifier.classify(ref, (2,)).outcome is Outcome.HIT
+        assert classifier.classify(ref, (5,)).outcome is Outcome.COLD
+        assert classifier.classify(ref, (6,)).outcome is Outcome.HIT
+
+    def test_guarded_consumer_temporal_reuse_across_time_steps(self):
+        """A guarded consumer still sees its own previous time step: the
+        producer point (T−1, I) satisfies the same guard."""
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (16,))
+        with pb.subroutine("MAIN"):
+            with pb.do("T", 1, 2):
+                with pb.do("I", 1, 16) as i:
+                    with pb.if_(i.le(8)):
+                        pb.read(a[i])
+        cache = CacheConfig.kb(32, 32, 1)
+        nprog, classifier = classifier_for(pb, cache)
+        ref = nprog.refs[0]
+        assert classifier.classify(ref, (1, 1)).outcome is Outcome.COLD
+        second_sweep = classifier.classify(ref, (2, 1))
+        assert second_sweep.outcome is Outcome.HIT
+
     def test_intra_statement_read_then_write_hits(self):
         pb = ProgramBuilder("P")
         a = pb.array("A", (8,))

@@ -1,0 +1,303 @@
+"""Differential-testing harness: analytical solvers vs the LRU simulator.
+
+The harness generates randomized small programs spanning the shapes the
+paper's model must handle (strided scans, inter-nest reuse, 2-D stencils,
+triangular and guarded spaces) paired with randomized cache geometries, and
+diffs the two analytical solvers against the trace-driven
+:class:`~repro.sim.cache.SetAssocLRUCache` ground truth:
+
+* **FindMisses leg** — for *uniform* families (every reference uniformly
+  generated, canonical offset patterns) the per-reference miss counts must
+  match simulation **exactly**; for irregular families (random offsets,
+  guards) the model may only **over-estimate**, per reference, never
+  under-estimate.
+* **EstimateMisses leg** — the estimator approximates ``FindMisses``, so
+  for every *sampled* reference the normal-approximation confidence
+  interval around the sampled miss ratio must contain the exhaustive miss
+  ratio (up to the nominal confidence level: a bounded fraction of
+  intervals may miss), and exhaustively analysed references must match
+  ``FindMisses`` exactly.
+
+Both legs run serially or through the parallel engine (``jobs``) — the
+solvers guarantee identical reports either way, and the test module checks
+that too.  Everything is seeded: a failing case can be reproduced from its
+``Case.name`` alone.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.ir import Program, ProgramBuilder
+from repro.layout import CacheConfig, layout_for_refs
+from repro.normalize import normalize
+from repro.cme import MissReport, estimate_misses, find_misses
+from repro.sim import simulate
+from repro.stats import wilson_interval
+
+#: Cache geometries the generator samples from (size KB, line bytes, assoc).
+GEOMETRIES = [
+    (1, 16, 1),
+    (1, 32, 1),
+    (1, 32, 2),
+    (2, 32, 1),
+    (2, 32, 4),
+    (2, 64, 2),
+    (4, 32, 2),
+    (4, 64, 4),
+]
+
+#: Alignments for the memory layout (1024 packs arrays one cache apart).
+ALIGNS = [32, 64, 1024]
+
+
+@dataclass
+class Case:
+    """One randomized program/cache-geometry pair."""
+
+    name: str
+    program: Program
+    cache: CacheConfig
+    align: int
+    #: True when the family guarantees exact per-reference agreement.
+    exact: bool
+
+    def prepared(self):
+        nprog = normalize(self.program.main)
+        layout = layout_for_refs(
+            nprog.refs,
+            declared_order=self.program.global_arrays,
+            align=self.align,
+        )
+        return nprog, layout
+
+
+@dataclass
+class DifferentialSummary:
+    """Aggregated outcome of one harness run."""
+
+    cases: int = 0
+    failures: list[str] = field(default_factory=list)
+    sampled_refs: int = 0
+    contained_refs: int = 0
+
+    @property
+    def containment_rate(self) -> float:
+        if self.sampled_refs == 0:
+            return 1.0
+        return self.contained_refs / self.sampled_refs
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+# -- program families -----------------------------------------------------------------
+
+
+def _gen_scan(rng: random.Random, pb: ProgramBuilder) -> bool:
+    """Strided 1-D scans with constant offsets, optionally re-swept."""
+    n = rng.randrange(48, 97)
+    reps = rng.randrange(1, 3)
+    a = pb.array("A", (n + 4,))
+    offsets = sorted(rng.sample(range(4), rng.randrange(1, 4)))
+    with pb.subroutine("MAIN"):
+        with pb.do("T", 1, reps):
+            with pb.do("I", 1, n) as i:
+                pb.assign(a[i + offsets[0]], *[a[i + o] for o in offsets[1:]])
+    return True  # single array, constant 1-D offsets: uniformly generated
+
+
+def _gen_internest(rng: random.Random, pb: ProgramBuilder) -> bool:
+    """Whole-program reuse across separate nests (the paper's pitch)."""
+    n = rng.randrange(48, 97)
+    a = pb.array("A", (n,))
+    b = pb.array("B", (n,))
+    with pb.subroutine("MAIN"):
+        with pb.do("I", 1, n) as i:
+            pb.assign(a[i])
+        with pb.do("I", 1, n) as i:
+            if rng.random() < 0.5:
+                pb.assign(b[i], a[i])
+            else:
+                pb.read(a[i])
+    return True
+
+
+def _gen_cross_stencil(rng: random.Random, pb: ProgramBuilder) -> bool:
+    """2-D cross stencils (|offset| ≤ 1) — the Table 3 exact family."""
+    n = rng.randrange(8, 15)
+    a = pb.array("A", (n + 2, n + 2))
+    b = pb.array("B", (n + 2, n + 2))
+    points = rng.sample([(-1, 0), (1, 0), (0, -1), (0, 1), (0, 0)], 3)
+    with pb.subroutine("MAIN"):
+        with pb.do("J", 2, n + 1) as j:
+            with pb.do("I", 2, n + 1) as i:
+                pb.assign(b[i, j], *[a[i + di, j + dj] for di, dj in points])
+    return True
+
+
+def _gen_triangular(rng: random.Random, pb: ProgramBuilder) -> bool:
+    """Triangular iteration spaces (count-weighted sampling territory)."""
+    n = rng.randrange(10, 17)
+    a = pb.array("A", (n, n))
+    with pb.subroutine("MAIN"):
+        with pb.do("J", 1, n) as j:
+            with pb.do("I", j, n) as i:
+                pb.assign(a[i, j])
+    return True
+
+
+def _gen_random_stencil(rng: random.Random, pb: ProgramBuilder) -> bool:
+    """Random-offset stencils: reuse vectors may fall outside the generated
+    family at boundaries, so only conservatism is guaranteed."""
+    n = rng.randrange(8, 13)
+    a = pb.array("A", (n + 4, n + 4))
+    two = rng.random() < 0.5
+    b = pb.array("B", (n + 4, n + 4)) if two else a
+    count = rng.randrange(1, 4)
+    offsets = set()
+    while len(offsets) < count:
+        offsets.add((rng.randrange(-2, 3), rng.randrange(-2, 3)))
+    with pb.subroutine("MAIN"):
+        with pb.do("J", 3, n + 2) as j:
+            with pb.do("I", 3, n + 2) as i:
+                pb.assign(b[i, j], *[a[i + di, j + dj] for di, dj in offsets])
+    return False
+
+
+def _gen_guarded(rng: random.Random, pb: ProgramBuilder) -> bool:
+    """Guarded references (non-convex interference, conservative)."""
+    n = rng.randrange(10, 17)
+    a = pb.array("A", (n + 2, n + 2))
+    with pb.subroutine("MAIN"):
+        with pb.do("J", 1, n) as j:
+            with pb.do("I", 1, n) as i:
+                with pb.if_(i.le(j)):
+                    pb.assign(a[i, j], a[i, j])
+                pb.read(a[j, i])
+    return False
+
+
+FAMILIES = [
+    ("scan", _gen_scan),
+    ("internest", _gen_internest),
+    ("cross", _gen_cross_stencil),
+    ("tri", _gen_triangular),
+    ("randstencil", _gen_random_stencil),
+    ("guarded", _gen_guarded),
+]
+
+
+def generate_cases(count: int, seed: int = 20260806) -> list[Case]:
+    """Deterministically generate ``count`` program/geometry cases."""
+    cases = []
+    for k in range(count):
+        family, gen = FAMILIES[k % len(FAMILIES)]
+        rng = random.Random((seed << 8) ^ k)
+        pb = ProgramBuilder(f"D{k}")
+        exact = gen(rng, pb)
+        size_kb, line, assoc = rng.choice(GEOMETRIES)
+        cases.append(
+            Case(
+                name=f"{family}-{k}/{size_kb}KB:{line}B:{assoc}w",
+                program=pb.build(),
+                cache=CacheConfig.kb(size_kb, line, assoc),
+                align=rng.choice(ALIGNS),
+                exact=exact,
+            )
+        )
+    return cases
+
+
+# -- the two legs ---------------------------------------------------------------------
+
+
+def check_find(case: Case, jobs: int = 1) -> list[str]:
+    """Diff ``find_misses`` against the simulator; returns failure messages."""
+    nprog, layout = case.prepared()
+    analytic = find_misses(nprog, layout, case.cache, jobs=jobs)
+    ground = simulate(nprog, layout, case.cache)
+    failures = []
+    if analytic.total_accesses != ground.total_accesses:
+        failures.append(
+            f"{case.name}: access counts diverge "
+            f"({analytic.total_accesses} vs {ground.total_accesses})"
+        )
+    for ref in nprog.refs:
+        a = analytic.result_for(ref).misses
+        s = ground.misses[ref.uid]
+        if case.exact and a != s:
+            failures.append(
+                f"{case.name}: {ref.name()} expected exactly {s} misses, "
+                f"FindMisses reported {a}"
+            )
+        elif a < s:
+            failures.append(
+                f"{case.name}: {ref.name()} under-estimated "
+                f"({a} analytical < {s} simulated)"
+            )
+    return failures
+
+
+def check_estimate(
+    case: Case,
+    summary: DifferentialSummary,
+    confidence: float = 0.95,
+    width: float = 0.10,
+    seed: int = 0,
+    jobs: int = 1,
+) -> MissReport:
+    """Diff ``estimate_misses`` against ``FindMisses`` (its exact target).
+
+    Sampled references must contain the exhaustive miss ratio in their
+    confidence interval (tallied on ``summary`` — the caller asserts the
+    rate, since a ``1 - confidence`` fraction of misses is nominal);
+    exhaustively-analysed references must match ``FindMisses`` exactly.
+    """
+    nprog, layout = case.prepared()
+    exact = find_misses(nprog, layout, case.cache, jobs=jobs)
+    est = estimate_misses(
+        nprog,
+        layout,
+        case.cache,
+        confidence=confidence,
+        width=width,
+        seed=seed,
+        jobs=jobs,
+    )
+    for ref in nprog.refs:
+        e = est.result_for(ref)
+        x = exact.result_for(ref)
+        if e.analysed == e.population:
+            if e.misses != x.misses:
+                summary.failures.append(
+                    f"{case.name}: {ref.name()} analysed exhaustively but "
+                    f"disagrees with FindMisses ({e.misses} vs {x.misses})"
+                )
+            continue
+        summary.sampled_refs += 1
+        lo, hi = wilson_interval(e.misses, e.analysed, confidence)
+        if lo - 1e-9 <= x.miss_ratio <= hi + 1e-9:
+            summary.contained_refs += 1
+    return est
+
+
+def run_differential(
+    cases: list[Case],
+    jobs: int = 1,
+    confidence: float = 0.95,
+    width: float = 0.10,
+    seed: int = 0,
+) -> DifferentialSummary:
+    """Run both legs over ``cases``; the caller asserts on the summary."""
+    summary = DifferentialSummary()
+    for case in cases:
+        summary.cases += 1
+        summary.failures.extend(check_find(case, jobs=jobs))
+        check_estimate(
+            case, summary, confidence=confidence, width=width, seed=seed,
+            jobs=jobs,
+        )
+    return summary

@@ -1,0 +1,69 @@
+"""Run the differential harness: ≥ 50 randomized program/geometry cases.
+
+The case list is fixed by seed, so these are regression tests, not flaky
+statistical ones: the same programs, layouts, samples and outcomes are
+produced on every run (and on every ``jobs`` value).
+"""
+
+import pytest
+
+from tests.harness.differential import (
+    Case,
+    DifferentialSummary,
+    check_estimate,
+    check_find,
+    generate_cases,
+    run_differential,
+)
+
+CASE_COUNT = 60
+
+
+@pytest.fixture(scope="module")
+def cases() -> list[Case]:
+    return generate_cases(CASE_COUNT)
+
+
+class TestFindLeg:
+    def test_serial_against_simulator(self, cases):
+        failures = [msg for case in cases for msg in check_find(case)]
+        assert not failures, "\n".join(failures)
+
+    def test_parallel_against_simulator(self, cases):
+        # A spread of families through the process pool (every 4th case).
+        failures = [msg for case in cases[::4] for msg in check_find(case, jobs=2)]
+        assert not failures, "\n".join(failures)
+
+    def test_exact_and_conservative_families_both_present(self, cases):
+        kinds = {case.exact for case in cases}
+        assert kinds == {True, False}
+
+
+class TestEstimateLeg:
+    def test_confidence_interval_containment(self, cases):
+        summary = DifferentialSummary()
+        for case in cases:
+            check_estimate(case, summary)
+        assert not summary.failures, "\n".join(summary.failures)
+        # Enough references must actually exercise the sampling path.
+        assert summary.sampled_refs >= 50
+        # At c = 95% about 5% of intervals may nominally miss; the case
+        # list is seeded, so this rate is a deterministic regression value.
+        assert summary.containment_rate >= 0.90
+
+    def test_parallel_estimate_matches_serial(self, cases):
+        for case in cases[::6]:
+            s1 = DifferentialSummary()
+            s2 = DifferentialSummary()
+            serial = check_estimate(case, s1)
+            parallel = check_estimate(case, s2, jobs=2)
+            assert serial == parallel, case.name
+            assert not s1.failures and not s2.failures
+
+
+class TestWholeRun:
+    def test_run_differential_summary(self, cases):
+        summary = run_differential(cases[:12])
+        assert summary.ok, "\n".join(summary.failures)
+        assert summary.cases == 12
+        assert summary.containment_rate >= 0.85

@@ -1,0 +1,92 @@
+"""Golden regression tests for the paper-table renderer.
+
+``benchmarks/results/table3.txt`` … ``table6.txt`` are checked-in snapshots
+produced by :func:`repro.report.format_table`.  Two guarantees are pinned:
+
+* **format stability** — parsing every golden table back into cells and
+  re-rendering reproduces each file byte-for-byte, so any change to the
+  renderer (padding, separators, float formatting) is caught immediately;
+* **data stability** — blocks that are deterministic functions of fixture
+  programs (Table 5's structural statistics, the papers' published rows)
+  are regenerated from scratch and must also match byte-for-byte.
+"""
+
+import os
+
+import pytest
+
+from repro import program_stats
+from repro.programs import build_applu_like, build_swim_like, build_tomcatv_like
+from repro.report import format_table
+
+RESULTS_DIR = os.path.join(
+    os.path.dirname(__file__), "..", "..", "benchmarks", "results"
+)
+
+GOLDEN_FILES = ["table3.txt", "table4.txt", "table5.txt", "table6.txt"]
+
+
+def read_blocks(name: str) -> list[str]:
+    """The golden file's tables (title + header + separator + rows)."""
+    with open(os.path.join(RESULTS_DIR, name)) as fh:
+        content = fh.read()
+    return [b for b in content.rstrip("\n").split("\n\n") if b.strip()]
+
+
+def parse_block(block: str):
+    """Recover ``(title, headers, rows)`` from one rendered table."""
+    lines = block.splitlines()
+    title, header_line, rows_lines = lines[0], lines[1], lines[3:]
+    headers = [h.strip() for h in header_line.split(" | ")]
+    rows = [tuple(c.strip() for c in line.split(" | ")) for line in rows_lines]
+    return title, headers, rows
+
+
+@pytest.mark.parametrize("name", GOLDEN_FILES)
+def test_golden_tables_round_trip_byte_for_byte(name):
+    """Re-rendering the parsed cells must reproduce every block exactly."""
+    blocks = read_blocks(name)
+    assert blocks, f"{name} has no tables"
+    for block in blocks:
+        title, headers, rows = parse_block(block)
+        assert format_table(headers, rows, title=title) == block
+
+
+@pytest.mark.parametrize("name", GOLDEN_FILES)
+def test_golden_tables_have_paper_and_measured_blocks(name):
+    blocks = read_blocks(name)
+    assert len(blocks) == 2
+    assert "paper" in blocks[0].splitlines()[0]
+    assert "measured" in blocks[1].splitlines()[0]
+
+
+def test_table5_measured_block_regenerates_from_fixture_programs():
+    """Table 5's measured rows are pure structure — regenerate and diff."""
+    rows = [
+        program_stats(p).as_row()
+        for p in (
+            build_tomcatv_like(64, 2),
+            build_swim_like(64, 2),
+            build_applu_like(32, 2),
+        )
+    ]
+    rendered = format_table(
+        ["Program", "#lines", "#subroutines", "#calls", "#references"],
+        rows,
+        title="Table 5 — measured (structural miniatures)",
+    )
+    assert rendered == read_blocks("table5.txt")[1]
+
+
+def test_table5_paper_block_regenerates_from_published_rows():
+    """The paper's published rows are constants: pin their rendering."""
+    rendered = format_table(
+        ["Program", "#lines", "#subroutines", "#calls", "#references"],
+        [
+            ("Tomcatv", 190, 1, 0, 79),
+            ("Swim", 429, 6, 6, 52),
+            ("Applu", 3868, 16, 27, 2565),
+        ],
+        title="Table 5 — paper (SPECfp95 originals)",
+    )
+    assert rendered == read_blocks("table5.txt")[0]

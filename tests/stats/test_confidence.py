@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.stats import achievable, proportion_interval, sample_size, z_value
+from repro.stats import (
+    DEFAULT_FALLBACK,
+    achievable,
+    proportion_interval,
+    sample_size,
+    wilson_interval,
+    z_value,
+)
 
 
 class TestZValue:
@@ -57,6 +64,75 @@ class TestAchievable:
         size = 200
         assert not achievable(0.95, 0.05, size)
         assert achievable(0.90, 0.15, size)
+
+
+class TestEdgeCases:
+    def test_volume_smaller_than_fallback_sample_size(self):
+        """Fig. 6's last resort: an RIS below even the fallback n₀ is a
+        census — not achievable at either accuracy, sample capped at V."""
+        fallback_n0 = sample_size(*DEFAULT_FALLBACK)
+        for volume in range(1, fallback_n0 + 1):
+            assert not achievable(*DEFAULT_FALLBACK, volume)
+            assert sample_size(*DEFAULT_FALLBACK, population=volume) <= volume
+        assert achievable(*DEFAULT_FALLBACK, fallback_n0 + 1)
+
+    def test_width_one_or_more_rejected(self):
+        for width in (1.0, 1.5, 2.0):
+            with pytest.raises(ValueError):
+                sample_size(0.95, width)
+
+    def test_width_just_below_one_needs_tiny_sample(self):
+        assert sample_size(0.95, 0.999) == 1
+
+    def test_confidence_approaching_one_diverges(self):
+        """n₀ grows without bound as c → 1 (z diverges), monotonically."""
+        sizes = [sample_size(c, 0.05) for c in (0.9, 0.99, 0.999, 0.999999)]
+        assert sizes == sorted(sizes)
+        assert len(set(sizes)) == len(sizes)  # strictly increasing
+        assert sizes[-1] > 8 * sizes[0]
+
+    def test_confidence_exactly_one_rejected(self):
+        with pytest.raises(ValueError):
+            sample_size(1.0, 0.05)
+
+    def test_achievable_monotone_in_population(self):
+        threshold = sample_size(0.95, 0.05)
+        assert not achievable(0.95, 0.05, threshold)
+        assert achievable(0.95, 0.05, threshold + 1)
+
+    def test_population_one_is_a_census(self):
+        assert sample_size(0.95, 0.05, population=1) == 1
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(30, 100, 0.95)
+        assert lo < 0.3 < hi
+
+    def test_zero_successes_has_nondegenerate_upper_bound(self):
+        """The Wald interval collapses to a point at p̂ = 0; Wilson must
+        keep an upper bound ≈ z²/(n+z²) so containment checks stay honest."""
+        lo, hi = wilson_interval(0, 100, 0.95)
+        assert lo == pytest.approx(0.0, abs=1e-12)
+        assert 0.01 < hi < 0.1
+
+    def test_all_successes_has_nondegenerate_lower_bound(self):
+        lo, hi = wilson_interval(100, 100, 0.95)
+        assert hi == 1.0
+        assert 0.9 < lo < 0.99
+
+    def test_empty_sample(self):
+        assert wilson_interval(0, 0, 0.95) == (0.0, 0.0)
+
+    def test_narrower_with_more_samples(self):
+        lo1, hi1 = wilson_interval(30, 100, 0.95)
+        lo2, hi2 = wilson_interval(300, 1000, 0.95)
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_tighter_than_wald_never_escapes_unit_interval(self):
+        for successes, n in [(0, 10), (1, 10), (9, 10), (10, 10)]:
+            lo, hi = wilson_interval(successes, n, 0.99)
+            assert 0.0 <= lo <= hi <= 1.0
 
 
 class TestProportionInterval:
