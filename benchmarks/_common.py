@@ -9,6 +9,7 @@ suite runs in minutes; the paper's sizes are noted in each module.
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Callable
 
@@ -27,4 +28,16 @@ def emit(name: str, text: str) -> str:
     with open(path, "w") as fh:
         fh.write(text + "\n")
     print("\n" + text)
+    return path
+
+
+def emit_json(name: str, document: dict) -> str:
+    """Persist a machine-readable document (the ``BENCH_*.json`` trajectory
+    files future PRs diff against) under ``benchmarks/results``."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\n[{name}] written to {path}")
     return path

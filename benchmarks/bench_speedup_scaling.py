@@ -11,9 +11,10 @@ shape; the measured analysis/simulation time ratio must grow with it.
 import sys
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import emit, once
+from _common import emit, emit_json, once
 
-from repro import CacheConfig, analyze, prepare, run_simulation
+from repro import CacheConfig, analyze, obs, prepare, run_simulation
+from repro.obs.export import top_counters, validate_snapshot
 from repro.programs import build_tomcatv_like
 from repro.report import format_table
 
@@ -78,6 +79,48 @@ def test_jobs_scaling(benchmark):
     emit("jobs_scaling", text)
     # Determinism is non-negotiable: every job count yields the same report.
     assert all(row[4] == "yes" for row in rows)
+
+
+def compute_pipeline_metrics():
+    """One fully observed end-to-end run: prepare → reuse → solve → sim."""
+    obs.enable()
+    obs.reset()
+    try:
+        prepared = prepare(build_tomcatv_like(N, 4))
+        cache = CacheConfig.kb(4, 32, 1)
+        analyze(prepared, cache, method="estimate", seed=0)
+        run_simulation(prepared, cache)
+        snapshot = obs.snapshot()
+        phases = [
+            {"name": name, "count": count, "seconds": seconds}
+            for name, count, seconds in obs.phase_times()
+        ]
+    finally:
+        obs.disable()
+    return {
+        "schema": "repro.bench.pipeline/v1",
+        "workload": f"tomcatv-like N={N} steps=4",
+        "cache": "4KB/32B direct",
+        "phases": phases,
+        "top_counters": dict(top_counters(snapshot, k=3)),
+        "metrics": snapshot,
+    }
+
+
+def test_pipeline_metrics(benchmark):
+    """Emit BENCH_pipeline.json: per-phase wall times + top-3 counters.
+
+    This is the perf-trajectory anchor — future PRs compare their phase
+    breakdown against this file to show where an optimisation moved time.
+    """
+    doc = once(benchmark, compute_pipeline_metrics)
+    emit_json("BENCH_pipeline", doc)
+    phase_names = {p["name"] for p in doc["phases"]}
+    assert {"prepare/normalise", "prepare/layout", "reuse/build_table",
+            "cme/estimate", "sim/walk"} <= phase_names
+    assert all(p["seconds"] >= 0.0 for p in doc["phases"])
+    assert len(doc["top_counters"]) == 3
+    assert validate_snapshot(doc["metrics"]) == []
 
 
 def test_speedup_scaling(benchmark):

@@ -24,6 +24,7 @@ Quickstart::
     print(report.miss_ratio_percent, ground.miss_ratio_percent)
 """
 
+from repro import obs
 from repro.analysis import PreparedProgram, analyze, prepare, run_simulation
 from repro.cme import (
     MissReport,
@@ -62,6 +63,7 @@ from repro.stats import sample_size
 __version__ = "1.0.0"
 
 __all__ = [
+    "obs",
     "PreparedProgram",
     "analyze",
     "prepare",

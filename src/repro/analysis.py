@@ -23,6 +23,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Union
 
+from repro import obs
 from repro.ir.nodes import Program
 from repro.ir.stats import ProgramStats, program_stats
 from repro.inline.abstract_inline import InlineResult, inline_program
@@ -83,20 +84,23 @@ def prepare(
     ``align``/``pad_bytes`` control the memory layout — padding exploration
     is one of the paper's motivating applications.
     """
-    inlined = inline_program(
-        program,
-        entry=entry,
-        on_non_analysable=on_non_analysable,
-        model_stack=model_stack,
-    )
-    nprog = normalize(inlined.flat, name=program.name)
-    declared = list(program.all_arrays())
-    if inlined.stack_array is not None:
-        declared.append(inlined.stack_array)
-    layout = layout_for_refs(
-        nprog.refs, declared_order=declared, align=align, pad_bytes=pad_bytes
-    )
-    walker = Walker(nprog, layout)
+    with obs.span("prepare/inline"):
+        inlined = inline_program(
+            program,
+            entry=entry,
+            on_non_analysable=on_non_analysable,
+            model_stack=model_stack,
+        )
+    with obs.span("prepare/normalise"):
+        nprog = normalize(inlined.flat, name=program.name)
+    with obs.span("prepare/layout"):
+        declared = list(program.all_arrays())
+        if inlined.stack_array is not None:
+            declared.append(inlined.stack_array)
+        layout = layout_for_refs(
+            nprog.refs, declared_order=declared, align=align, pad_bytes=pad_bytes
+        )
+        walker = Walker(nprog, layout)
     return PreparedProgram(program, inlined, nprog, layout, walker)
 
 

@@ -3,24 +3,45 @@
 Examples::
 
     repro-cache analyze hydro --cache 32:32:2 --size 64
+    repro-cache analyze hydro --cache 32:32:2 --trace --metrics-out m.json
     repro-cache compare mmt --cache 8:32:1 --size 32
     repro-cache simulate path/to/kernel.f --cache 32:32:4
     repro-cache stats applu
 
 Cache specifications are ``SIZE_KB:LINE_BYTES:ASSOC``.
+
+Observability flags (accepted by every subcommand):
+
+* ``--trace`` — print the span tree and a per-phase timing table on stderr;
+* ``--metrics-out PATH`` — write the ``repro.metrics/v1`` JSON document to
+  ``PATH`` (``-`` writes it to stdout and moves all human output to stderr,
+  so stdout stays machine-readable);
+* ``--profile-out PATH`` — collect ``cProfile`` stats (binary ``pstats``
+  format); ``--profile-span NAME`` narrows collection to one span;
+* ``--quiet`` — silence diagnostics (the ``repro`` logger) so only the
+  final table is printed.
+
+Diagnostic lines go through :mod:`logging` (logger ``repro.cli``); final
+tables are printed directly, so ``--quiet`` silences everything except the
+result.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
-from typing import Optional
+from typing import Callable, Optional, TextIO
 
+from repro import obs
 from repro.analysis import analyze, prepare, run_simulation
 from repro.inline import classify_program
 from repro.ir import Program, program_stats
 from repro.layout import CacheConfig
-from repro.report import format_table
+from repro.report import format_table, with_timing
+
+log = logging.getLogger("repro.cli")
 
 
 def _parse_cache(spec: str) -> CacheConfig:
@@ -80,108 +101,145 @@ def _add_jobs_arg(sub: argparse.ArgumentParser) -> None:
     )
 
 
-def main(argv: Optional[list[str]] = None) -> int:
-    """Entry point for the ``repro-cache`` console script."""
-    parser = argparse.ArgumentParser(
-        prog="repro-cache",
-        description="Analytical whole-program cache behaviour prediction "
-        "(Vera & Xue, HPCA 2002 reproduction)",
+def _add_obs_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the span tree and per-phase timings on stderr",
     )
-    subs = parser.add_subparsers(dest="command", required=True)
-
-    p_analyze = subs.add_parser("analyze", help="analytical miss prediction")
-    _add_workload_args(p_analyze)
-    p_analyze.add_argument(
-        "--method", choices=["estimate", "find"], default="estimate"
+    sub.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the repro.metrics/v1 JSON document to PATH "
+        "('-' = stdout; human output then moves to stderr)",
     )
-    p_analyze.add_argument("--confidence", type=float, default=0.95)
-    p_analyze.add_argument("--width", type=float, default=0.05)
-    p_analyze.add_argument("--seed", type=int, default=0)
-    _add_jobs_arg(p_analyze)
-
-    p_sim = subs.add_parser("simulate", help="trace-driven LRU simulation")
-    _add_workload_args(p_sim)
-
-    p_cmp = subs.add_parser("compare", help="analytical vs simulated, side by side")
-    _add_workload_args(p_cmp)
-    p_cmp.add_argument(
-        "--method", choices=["estimate", "find"], default="estimate"
+    sub.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        default=None,
+        help="collect cProfile stats and dump them (pstats format) to PATH",
     )
-    _add_jobs_arg(p_cmp)
+    sub.add_argument(
+        "--profile-span",
+        metavar="NAME",
+        default=None,
+        help="restrict --profile-out collection to the named span "
+        "(e.g. cme/estimate, reuse/build_table)",
+    )
+    sub.add_argument(
+        "--quiet",
+        "-q",
+        action="store_true",
+        help="silence diagnostics; only the final table is printed",
+    )
 
-    p_stats = subs.add_parser("stats", help="Table 5 / Table 2 style statistics")
-    p_stats.add_argument("workload")
-    p_stats.add_argument("--size", type=int, default=None)
-    p_stats.add_argument("--steps", type=int, default=2)
 
-    args = parser.parse_args(argv)
-    program = _load_workload(args.workload, args.size, getattr(args, "steps", 2))
+def _configure_logging(quiet: bool, stream: TextIO) -> None:
+    """Route the ``repro`` logger to ``stream`` (plain messages).
 
-    if args.command == "stats":
-        st = program_stats(program)
-        cs = classify_program(program)
-        print(
-            format_table(
-                ["#lines", "#subroutines", "#calls", "#references"],
-                [(st.lines, st.subroutines, st.call_statements, st.references)],
-                title=f"{program.name} — program statistics (Table 5 columns)",
-            )
+    Re-entrant: repeated ``main()`` calls (tests, library use) replace the
+    handler instead of stacking duplicates.
+    """
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    logger.addHandler(handler)
+    logger.setLevel(logging.WARNING if quiet else logging.INFO)
+    logger.propagate = False
+
+
+# -- subcommands ---------------------------------------------------------------
+
+
+def _cmd_stats(args, program: Program, echo: Callable[[str], None]) -> int:
+    st = program_stats(program)
+    cs = classify_program(program)
+    echo(
+        format_table(
+            ["#lines", "#subroutines", "#calls", "#references"],
+            [(st.lines, st.subroutines, st.call_statements, st.references)],
+            title=f"{program.name} — program statistics (Table 5 columns)",
         )
-        print()
-        print(
-            format_table(
-                ["P-able", "R-able", "N-able", "Calls", "A-able"],
-                [(cs.p_able, cs.r_able, cs.n_able, cs.calls_total, cs.calls_analysable)],
-                title="Actual-parameter classification (Table 2 columns)",
-            )
+    )
+    echo("")
+    echo(
+        format_table(
+            ["P-able", "R-able", "N-able", "Calls", "A-able"],
+            [(cs.p_able, cs.r_able, cs.n_able, cs.calls_total, cs.calls_analysable)],
+            title="Actual-parameter classification (Table 2 columns)",
         )
-        return 0
+    )
+    return 0
 
+
+def _cmd_analyze(args, program: Program, echo: Callable[[str], None]) -> int:
     cache = _parse_cache(args.cache)
     prepared = prepare(program)
-
-    if args.command == "analyze":
-        report = analyze(
-            prepared,
-            cache,
-            method=args.method,
-            confidence=args.confidence,
-            width=args.width,
-            seed=args.seed,
-            jobs=args.jobs,
+    report = analyze(
+        prepared,
+        cache,
+        method=args.method,
+        confidence=args.confidence,
+        width=args.width,
+        seed=args.seed,
+        jobs=args.jobs,
+    )
+    log.info(
+        "%s on %s: miss ratio %.2f%% (%.0f of %d accesses, %s, %.2fs, "
+        "%d points analysed, %d job(s), %.0f points/s)",
+        program.name,
+        cache.describe(),
+        report.miss_ratio_percent,
+        report.total_misses,
+        report.total_accesses,
+        report.method,
+        report.elapsed_seconds,
+        report.analysed_points,
+        report.jobs,
+        report.points_per_second,
+    )
+    rows = [
+        (r.ref_name, r.population, f"{100 * r.miss_ratio:.2f}")
+        for r in report.worst_refs(8)
+    ]
+    echo("")
+    echo(
+        format_table(
+            ["Reference", "Accesses", "Miss %"],
+            rows,
+            title=(
+                f"Worst references — {program.name} on {cache.describe()}, "
+                f"{report.method}, miss ratio "
+                f"{report.miss_ratio_percent:.2f}%"
+            ),
         )
-        print(
-            f"{program.name} on {cache.describe()}: "
-            f"miss ratio {report.miss_ratio_percent:.2f}% "
-            f"({report.total_misses:.0f} of {report.total_accesses} accesses, "
-            f"{report.method}, {report.elapsed_seconds:.2f}s, "
-            f"{report.analysed_points} points analysed, "
-            f"{report.jobs} job(s), {report.points_per_second:.0f} points/s)"
-        )
-        rows = [
-            (r.ref_name, r.population, f"{100 * r.miss_ratio:.2f}")
-            for r in report.worst_refs(8)
-        ]
-        print()
-        print(format_table(["Reference", "Accesses", "Miss %"], rows,
-                           title="Worst references"))
-        return 0
+    )
+    return 0
 
-    if args.command == "simulate":
-        report = run_simulation(prepared, cache)
-        print(
-            f"{program.name} on {cache.describe()}: "
-            f"miss ratio {report.miss_ratio_percent:.2f}% "
-            f"({report.total_misses} of {report.total_accesses} accesses, "
-            f"{report.elapsed_seconds:.2f}s)"
-        )
-        return 0
 
-    # compare
+def _cmd_simulate(args, program: Program, echo: Callable[[str], None]) -> int:
+    cache = _parse_cache(args.cache)
+    prepared = prepare(program)
+    report = run_simulation(prepared, cache)
+    echo(
+        f"{program.name} on {cache.describe()}: "
+        f"miss ratio {report.miss_ratio_percent:.2f}% "
+        f"({report.total_misses} of {report.total_accesses} accesses, "
+        f"{report.elapsed_seconds:.2f}s)"
+    )
+    return 0
+
+
+def _cmd_compare(args, program: Program, echo: Callable[[str], None]) -> int:
+    cache = _parse_cache(args.cache)
+    prepared = prepare(program)
     analytic = analyze(prepared, cache, method=args.method, jobs=args.jobs)
     simulated = run_simulation(prepared, cache)
     err = abs(analytic.miss_ratio_percent - simulated.miss_ratio_percent)
-    print(
+    echo(
         format_table(
             ["", "Miss %", "#misses", "Time (s)"],
             [
@@ -202,6 +260,123 @@ def main(argv: Optional[list[str]] = None) -> int:
         )
     )
     return 0
+
+
+# -- observability plumbing ----------------------------------------------------
+
+
+def _emit_trace() -> None:
+    """Print the span tree and a per-phase timing table on stderr."""
+    print(obs.render(), file=sys.stderr)
+    phases = obs.phase_times()
+    if phases:
+        headers, rows = with_timing(
+            ["Phase", "Count"],
+            [(name, count) for name, count, _ in phases],
+            [seconds for _, _, seconds in phases],
+        )
+        print("", file=sys.stderr)
+        print(
+            format_table(headers, rows, title="Per-phase wall time"),
+            file=sys.stderr,
+        )
+
+
+def _emit_metrics(path: str) -> None:
+    """Write the metrics JSON document to ``path`` (``-`` = stdout)."""
+    text = obs.to_json(obs.snapshot())
+    if path == "-":
+        sys.stdout.write(text + "\n")
+    else:
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+        log.info("metrics written to %s", path)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Entry point for the ``repro-cache`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="repro-cache",
+        description="Analytical whole-program cache behaviour prediction "
+        "(Vera & Xue, HPCA 2002 reproduction)",
+    )
+    subs = parser.add_subparsers(dest="command", required=True)
+
+    p_analyze = subs.add_parser("analyze", help="analytical miss prediction")
+    _add_workload_args(p_analyze)
+    p_analyze.add_argument(
+        "--method", choices=["estimate", "find"], default="estimate"
+    )
+    p_analyze.add_argument("--confidence", type=float, default=0.95)
+    p_analyze.add_argument("--width", type=float, default=0.05)
+    p_analyze.add_argument("--seed", type=int, default=0)
+    _add_jobs_arg(p_analyze)
+    _add_obs_args(p_analyze)
+
+    p_sim = subs.add_parser("simulate", help="trace-driven LRU simulation")
+    _add_workload_args(p_sim)
+    _add_obs_args(p_sim)
+
+    p_cmp = subs.add_parser("compare", help="analytical vs simulated, side by side")
+    _add_workload_args(p_cmp)
+    p_cmp.add_argument(
+        "--method", choices=["estimate", "find"], default="estimate"
+    )
+    _add_jobs_arg(p_cmp)
+    _add_obs_args(p_cmp)
+
+    p_stats = subs.add_parser("stats", help="Table 5 / Table 2 style statistics")
+    p_stats.add_argument("workload")
+    p_stats.add_argument("--size", type=int, default=None)
+    p_stats.add_argument("--steps", type=int, default=2)
+    _add_obs_args(p_stats)
+
+    args = parser.parse_args(argv)
+
+    metrics_out = args.metrics_out
+    machine_stdout = metrics_out == "-"
+    human_stream = sys.stderr if machine_stdout else sys.stdout
+    _configure_logging(args.quiet, human_stream)
+
+    def echo(line: str = "") -> None:
+        print(line, file=human_stream)
+
+    if args.trace or metrics_out or args.profile_out:
+        obs.enable()
+        obs.reset()
+
+    profiler = None
+    if args.profile_out:
+        profiler = obs.SpanProfiler(args.profile_span)
+        if args.profile_span:
+            profiler.install(obs.tracer())
+        else:
+            profiler.start()
+    elif args.profile_span:
+        raise SystemExit("--profile-span requires --profile-out")
+
+    commands = {
+        "stats": _cmd_stats,
+        "analyze": _cmd_analyze,
+        "simulate": _cmd_simulate,
+        "compare": _cmd_compare,
+    }
+    try:
+        program = _load_workload(
+            args.workload, args.size, getattr(args, "steps", 2)
+        )
+        rc = commands[args.command](args, program, echo)
+    finally:
+        if profiler is not None:
+            if args.profile_span:
+                profiler.uninstall(obs.tracer())
+            profiler.dump(args.profile_out)
+            log.info("profile written to %s", args.profile_out)
+        if args.trace:
+            _emit_trace()
+        if metrics_out:
+            _emit_metrics(metrics_out)
+    return rc
 
 
 if __name__ == "__main__":

@@ -26,12 +26,14 @@ import random
 import time
 from typing import Iterable, Optional
 
+from repro import obs
 from repro.layout.cache import CacheConfig
 from repro.layout.memory import MemoryLayout
 from repro.normalize.nprogram import NormalizedProgram, NRef
 from repro.iteration.walker import Walker
 from repro.reuse.generator import ReuseOptions, ReuseTable, build_reuse_table
 from repro.stats.confidence import DEFAULT_FALLBACK, achievable, sample_size
+from repro.cme.find import record_ref_metrics
 from repro.cme.point import PointClassifier, Outcome
 from repro.cme.result import MissReport, RefResult
 
@@ -50,31 +52,37 @@ def estimate_ref_misses(
     seed: int = 0,
 ) -> RefResult:
     """Sample and classify one reference (the shard unit, Fig. 6 inner loop)."""
-    ris = nprog.ris(ref.leaf)
-    volume = ris.count()
-    result = RefResult(ref.name(), ref.uid, population=volume)
-    if volume == 0:
-        return result
-    if achievable(confidence, width, volume):
-        points = ris.sample(
-            sample_size(confidence, width, volume), ref_rng(seed, ref)
-        )
-    elif achievable(*DEFAULT_FALLBACK, volume):
-        points = ris.sample(
-            sample_size(*DEFAULT_FALLBACK, volume), ref_rng(seed, ref)
-        )
-    else:
-        points = list(ris.enumerate_points())  # analyse all points
-    classify = classifier.classify
-    for point in points:
-        outcome = classify(ref, point).outcome
-        result.analysed += 1
-        if outcome is Outcome.COLD:
-            result.cold += 1
-        elif outcome is Outcome.REPLACEMENT:
-            result.replacement += 1
+    with obs.span("cme/classify_ref"):
+        ris = nprog.ris(ref.leaf)
+        volume = ris.count()
+        result = RefResult(ref.name(), ref.uid, population=volume)
+        if volume == 0:
+            return result
+        if achievable(confidence, width, volume):
+            points = ris.sample(
+                sample_size(confidence, width, volume), ref_rng(seed, ref)
+            )
+            obs.counter("cme.sampling.draws").inc(len(points))
+        elif achievable(*DEFAULT_FALLBACK, volume):
+            points = ris.sample(
+                sample_size(*DEFAULT_FALLBACK, volume), ref_rng(seed, ref)
+            )
+            obs.counter("cme.sampling.draws").inc(len(points))
+            obs.counter("cme.sampling.fallbacks").inc()
         else:
-            result.hits += 1
+            points = list(ris.enumerate_points())  # analyse all points
+            obs.counter("cme.sampling.exhaustive").inc()
+        classify = classifier.classify
+        for point in points:
+            outcome = classify(ref, point).outcome
+            result.analysed += 1
+            if outcome is Outcome.COLD:
+                result.cold += 1
+            elif outcome is Outcome.REPLACEMENT:
+                result.replacement += 1
+            else:
+                result.hits += 1
+        record_ref_metrics(result, classifier)
     return result
 
 
@@ -123,10 +131,13 @@ def estimate_misses(
         )
     classifier = PointClassifier(nprog, layout, cache, reuse, walker)
     report = MissReport("EstimateMisses", cache)
-    for ref in targets:
-        report.results[ref.uid] = estimate_ref_misses(
-            classifier, nprog, ref, confidence, width, seed
-        )
+    with obs.span("cme/estimate"):
+        for ref in targets:
+            report.results[ref.uid] = estimate_ref_misses(
+                classifier, nprog, ref, confidence, width, seed
+            )
     report.elapsed_seconds = time.perf_counter() - started
     report.solver_seconds = report.elapsed_seconds
+    if obs.is_enabled():
+        report.metrics = obs.snapshot()
     return report

@@ -17,6 +17,7 @@ from __future__ import annotations
 import time
 from typing import Iterable, Optional
 
+from repro import obs
 from repro.layout.cache import CacheConfig
 from repro.layout.memory import MemoryLayout
 from repro.normalize.nprogram import NormalizedProgram, NRef
@@ -26,22 +27,41 @@ from repro.cme.point import PointClassifier, Outcome
 from repro.cme.result import MissReport, RefResult
 
 
+def record_ref_metrics(result: RefResult, classifier: PointClassifier) -> None:
+    """Bulk per-reference observability counters (shared by both solvers).
+
+    Incrementing once per reference — not per point — keeps the metric
+    namespace (``cme.points.*``, ``polyhedra.ris.volume``) entirely out of
+    the per-point hot loop; when observability is disabled this whole call
+    is a handful of no-op method calls.
+    """
+    obs.counter("cme.refs.analysed").inc()
+    obs.counter("cme.points.classified").inc(result.analysed)
+    obs.counter("cme.points.cold").inc(result.cold)
+    obs.counter("cme.points.replacement").inc(result.replacement)
+    obs.counter("cme.points.hit").inc(result.hits)
+    obs.histogram("polyhedra.ris.volume").observe(result.population)
+    obs.counter("cme.solver.vector_trials").inc(classifier.drain_vector_trials())
+
+
 def find_ref_misses(
     classifier: PointClassifier, nprog: NormalizedProgram, ref: NRef
 ) -> RefResult:
     """Classify every iteration point of one reference (the shard unit)."""
-    ris = nprog.ris(ref.leaf)
-    result = RefResult(ref.name(), ref.uid, population=ris.count())
-    classify = classifier.classify
-    for point in ris.enumerate_points():
-        outcome = classify(ref, point).outcome
-        result.analysed += 1
-        if outcome is Outcome.COLD:
-            result.cold += 1
-        elif outcome is Outcome.REPLACEMENT:
-            result.replacement += 1
-        else:
-            result.hits += 1
+    with obs.span("cme/classify_ref"):
+        ris = nprog.ris(ref.leaf)
+        result = RefResult(ref.name(), ref.uid, population=ris.count())
+        classify = classifier.classify
+        for point in ris.enumerate_points():
+            outcome = classify(ref, point).outcome
+            result.analysed += 1
+            if outcome is Outcome.COLD:
+                result.cold += 1
+            elif outcome is Outcome.REPLACEMENT:
+                result.replacement += 1
+            else:
+                result.hits += 1
+        record_ref_metrics(result, classifier)
     return result
 
 
@@ -74,8 +94,11 @@ def find_misses(
         )
     classifier = PointClassifier(nprog, layout, cache, reuse, walker)
     report = MissReport("FindMisses", cache)
-    for ref in targets:
-        report.results[ref.uid] = find_ref_misses(classifier, nprog, ref)
+    with obs.span("cme/find"):
+        for ref in targets:
+            report.results[ref.uid] = find_ref_misses(classifier, nprog, ref)
     report.elapsed_seconds = time.perf_counter() - started
     report.solver_seconds = report.elapsed_seconds
+    if obs.is_enabled():
+        report.metrics = obs.snapshot()
     return report

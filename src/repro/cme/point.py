@@ -103,6 +103,17 @@ class PointClassifier:
         self._line_bytes = cache.line_bytes
         self._num_sets = cache.num_sets
         self._assoc = cache.assoc
+        #: Reuse vectors tried since the last drain — the CME "solver
+        #: iterations" metric.  A plain int kept per classifier (one add per
+        #: point) and drained in bulk per reference, so the per-point hot
+        #: loop never touches the metrics registry.
+        self.vector_trials = 0
+
+    def drain_vector_trials(self) -> int:
+        """Return and reset the accumulated reuse-vector trial count."""
+        n = self.vector_trials
+        self.vector_trials = 0
+        return n
 
     def classify(self, ref: NRef, point: Sequence[int]) -> Classification:
         """Classify the access of ``ref`` at index vector ``point``.
@@ -115,7 +126,9 @@ class PointClassifier:
         addr_c = cref.address_at(point)
         line_c = addr_c // line_bytes
         ivec_c = interleave(ref.label, tuple(point))
+        trials = 0
         for rv in self.reuse.vectors_for(ref):
+            trials += 1
             ivec_p = subtract(ivec_c, rv.vec)
             index_p = ivec_p[1::2]
             producer = rv.producer
@@ -134,7 +147,9 @@ class PointClassifier:
                 line_bytes,
                 self._num_sets,
             )
+            self.vector_trials += trials
             if evicted:
                 return Classification(Outcome.REPLACEMENT, rv)
             return Classification(Outcome.HIT, rv)
+        self.vector_trials += trials
         return Classification(Outcome.COLD)

@@ -1,9 +1,32 @@
-"""Result containers for the miss-equation solvers."""
+"""Result containers for the miss-equation solvers.
+
+Equality contract
+-----------------
+
+:class:`MissReport` equality compares **classifications only** — the
+``method``, ``cache`` and per-reference tallies.  Everything observational
+(``elapsed_seconds``, ``solver_seconds``, ``jobs``, ``metrics``) is
+declared ``compare=False``: those fields describe *how* a run happened,
+never *what* it computed.  This is what lets the differential tests assert
+``serial_report == parallel_report`` bit-identically while each run still
+carries its own timings and metrics snapshot.
+
+Timing contract
+---------------
+
+All timing fields are measured with :func:`time.perf_counter` — the
+monotonic, high-resolution clock — and are therefore only meaningful as
+*differences within one process*; they are never wall-clock timestamps.
+Throughput properties (:attr:`MissReport.points_per_second`,
+:attr:`MissReport.parallel_efficiency`) derive from the same clock, so
+they are internally consistent even across pauses or clock adjustments
+that would skew ``time.time()``.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Optional
 
 from repro.layout.cache import CacheConfig
 from repro.normalize.nprogram import NRef
@@ -51,24 +74,32 @@ class RefResult:
 class MissReport:
     """Aggregate analysis outcome for a program.
 
-    Timing and parallelism metadata (``elapsed_seconds``, ``jobs``,
-    ``solver_seconds``) are excluded from equality: two reports are equal
-    when their classifications agree, which is exactly the determinism
-    guarantee of the parallel engine (serial and ``jobs=N`` runs must
-    compare equal).
+    Timing, parallelism and observability metadata (``elapsed_seconds``,
+    ``jobs``, ``solver_seconds``, ``metrics``) are excluded from equality:
+    two reports are equal when their classifications agree, which is
+    exactly the determinism guarantee of the parallel engine (serial and
+    ``jobs=N`` runs must compare equal, with or without observability
+    enabled).  See the module docstring for the full contract.
     """
 
     method: str
     cache: CacheConfig
     results: dict[int, RefResult] = field(default_factory=dict)
-    #: Wall-clock time of the whole solve (serial or parallel).
+    #: Wall-clock duration of the whole solve (serial or parallel),
+    #: measured with ``time.perf_counter`` (monotonic).
     elapsed_seconds: float = field(default=0.0, compare=False)
     #: Worker processes used (1 = the serial in-process path).
     jobs: int = field(default=1, compare=False)
-    #: CPU time spent classifying points, summed across workers.  Equals
-    #: ``elapsed_seconds`` for serial runs; for parallel runs the ratio
-    #: ``solver_seconds / elapsed_seconds`` is the effective speedup.
+    #: ``perf_counter`` time spent classifying points, summed across
+    #: workers.  Equals ``elapsed_seconds`` for serial runs; for parallel
+    #: runs the ratio ``solver_seconds / elapsed_seconds`` is the
+    #: effective speedup.
     solver_seconds: float = field(default=0.0, compare=False)
+    #: Observability snapshot (``repro.obs`` schema document) taken at the
+    #: end of the solve when observability was enabled, else ``None``.
+    #: Excluded from equality and ``repr`` — it can only ever describe a
+    #: run, not change its outcome.
+    metrics: Optional[dict] = field(default=None, compare=False, repr=False)
 
     def result_for(self, ref: NRef) -> RefResult:
         """The per-reference result of ``ref``."""

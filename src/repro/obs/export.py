@@ -1,0 +1,162 @@
+"""Exporters for the observability layer.
+
+Three consumers, three formats:
+
+* :func:`render_tree` — a human-readable span tree for ``--trace`` output
+  on stderr;
+* :func:`build_snapshot` / :func:`to_json` — the stable machine-readable
+  schema behind ``--metrics-out`` and the ``BENCH_*.json`` perf-trajectory
+  files the benchmarks emit;
+* :func:`validate_snapshot` — a dependency-free structural validator used
+  by the CI smoke job and the test suite (no ``jsonschema`` needed).
+
+The JSON schema (version :data:`SCHEMA`)::
+
+    {
+      "schema": "repro.metrics/v1",
+      "counters":   {"<dotted.name>": <int>, ...},
+      "gauges":     {"<dotted.name>": <number>, ...},
+      "histograms": {"<dotted.name>": {"count": <int>, "sum": <number>,
+                                       "min": <number|null>,
+                                       "max": <number|null>}, ...},
+      "spans": [{"name": <str>, "count": <int>, "seconds": <number>,
+                 "children": [<span>, ...]}, ...]
+    }
+
+The schema is additive-only: new metric names appear as new keys, never as
+shape changes, so files written by older versions stay readable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+SCHEMA = "repro.metrics/v1"
+
+
+def build_snapshot(registry, tracer) -> dict:
+    """Combine a registry and a tracer into one schema-stamped document."""
+    doc = {"schema": SCHEMA}
+    doc.update(registry.snapshot())
+    doc["spans"] = tracer.snapshot()
+    return doc
+
+
+def to_json(snapshot: dict, indent: int = 2) -> str:
+    """Serialise a snapshot deterministically (sorted keys)."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def top_counters(snapshot: dict, k: int = 3) -> list[tuple[str, int]]:
+    """The ``k`` largest counters, by value then name (stable)."""
+    counters = snapshot.get("counters", {})
+    ordered = sorted(counters.items(), key=lambda kv: (-kv[1], kv[0]))
+    return ordered[:k]
+
+
+# -- rendering -----------------------------------------------------------------
+
+
+def render_tree(spans: Sequence[dict], total_width: int = 44) -> str:
+    """Render a span snapshot as an indented tree with counts and times.
+
+    ``spans`` is the list produced by ``Tracer.snapshot()`` (or the
+    ``"spans"`` key of a full snapshot).
+    """
+    lines = ["span tree (total seconds, count):"]
+    if not spans:
+        lines.append("  (no spans recorded)")
+        return "\n".join(lines)
+
+    def walk(nodes: Sequence[dict], prefix: str) -> None:
+        for i, node in enumerate(nodes):
+            last = i == len(nodes) - 1
+            branch = "└─ " if last else "├─ "
+            label = prefix + branch + node["name"]
+            pad = max(1, total_width - len(label))
+            lines.append(
+                f"{label}{' ' * pad}{node['seconds']:9.4f}s  ×{node['count']}"
+            )
+            walk(node.get("children", []), prefix + ("   " if last else "│  "))
+
+    walk(spans, "")
+    return "\n".join(lines)
+
+
+# -- validation ----------------------------------------------------------------
+
+
+def _is_number(v) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def _validate_span(span, path: str, errors: list[str]) -> None:
+    if not isinstance(span, dict):
+        errors.append(f"{path}: span must be an object")
+        return
+    if not isinstance(span.get("name"), str):
+        errors.append(f"{path}.name: must be a string")
+    if not isinstance(span.get("count"), int) or isinstance(
+        span.get("count"), bool
+    ):
+        errors.append(f"{path}.name={span.get('name')!r}: count must be an int")
+    if not _is_number(span.get("seconds")):
+        errors.append(
+            f"{path}.name={span.get('name')!r}: seconds must be a number"
+        )
+    children = span.get("children", [])
+    if not isinstance(children, list):
+        errors.append(f"{path}.children: must be a list")
+        return
+    for i, child in enumerate(children):
+        _validate_span(child, f"{path}.children[{i}]", errors)
+
+
+def validate_snapshot(doc) -> list[str]:
+    """Structurally validate a metrics document; returns a list of errors.
+
+    An empty list means the document conforms to :data:`SCHEMA`.  This is
+    the validator the CI smoke job runs against ``--metrics-out`` output.
+    """
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document must be a JSON object"]
+    if doc.get("schema") != SCHEMA:
+        errors.append(f"schema: expected {SCHEMA!r}, got {doc.get('schema')!r}")
+    for section in ("counters", "gauges", "histograms"):
+        block = doc.get(section)
+        if not isinstance(block, dict):
+            errors.append(f"{section}: must be an object")
+            continue
+        for name, value in block.items():
+            if not isinstance(name, str) or not name:
+                errors.append(f"{section}: metric names must be strings")
+            if section == "counters":
+                if not isinstance(value, int) or isinstance(value, bool):
+                    errors.append(f"counters[{name!r}]: must be an int")
+            elif section == "gauges":
+                if not _is_number(value):
+                    errors.append(f"gauges[{name!r}]: must be a number")
+            else:
+                if not isinstance(value, dict):
+                    errors.append(f"histograms[{name!r}]: must be an object")
+                    continue
+                for key in ("count", "sum", "min", "max"):
+                    if key not in value:
+                        errors.append(f"histograms[{name!r}]: missing {key!r}")
+                if not isinstance(value.get("count"), int):
+                    errors.append(f"histograms[{name!r}].count: must be an int")
+                for key in ("min", "max"):
+                    v = value.get(key)
+                    if v is not None and not _is_number(v):
+                        errors.append(
+                            f"histograms[{name!r}].{key}: must be a number or null"
+                        )
+    spans = doc.get("spans")
+    if not isinstance(spans, list):
+        errors.append("spans: must be a list")
+    else:
+        for i, span in enumerate(spans):
+            _validate_span(span, f"spans[{i}]", errors)
+    return errors

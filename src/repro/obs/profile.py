@@ -1,0 +1,90 @@
+"""Opt-in ``cProfile`` hooks around the traced pipeline.
+
+Two modes, both driven by the CLI's ``--profile-out``:
+
+* **whole-run** (no ``--profile-span``): :meth:`SpanProfiler.start` /
+  :meth:`SpanProfiler.stop` bracket the entire command;
+* **span-scoped** (``--profile-span NAME``): the profiler attaches to the
+  tracer's enter/exit hooks and collects only while a span with the given
+  name is open (re-entrant spans nest correctly — profiling stops when the
+  outermost matching span closes).
+
+The collected stats are written with :meth:`SpanProfiler.dump` in the
+binary ``pstats`` format, ready for ``python -m pstats`` or ``snakeviz``.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from typing import Optional
+
+
+class SpanProfiler:
+    """A ``cProfile.Profile`` scoped to a named span (or the whole run)."""
+
+    def __init__(self, span_name: Optional[str] = None):
+        self.span_name = span_name
+        self.profiler = cProfile.Profile()
+        self._depth = 0
+        self._running = False
+
+    # -- whole-run mode ------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin collecting (whole-run mode)."""
+        if not self._running:
+            self._running = True
+            self.profiler.enable()
+
+    def stop(self) -> None:
+        """Stop collecting (idempotent)."""
+        if self._running:
+            self.profiler.disable()
+            self._running = False
+
+    # -- span-scoped mode ----------------------------------------------------
+
+    def install(self, tracer) -> None:
+        """Attach to a tracer's span hooks (span-scoped mode)."""
+        if self.span_name is None:
+            raise ValueError("install() needs a span name; use start() instead")
+        tracer.on_enter = self._on_enter
+        tracer.on_exit = self._on_exit
+
+    def uninstall(self, tracer) -> None:
+        """Detach from the tracer and stop collecting."""
+        if tracer.on_enter is self._on_enter:
+            tracer.on_enter = None
+        if tracer.on_exit is self._on_exit:
+            tracer.on_exit = None
+        self.stop()
+
+    def _on_enter(self, name: str) -> None:
+        if name == self.span_name:
+            self._depth += 1
+            if self._depth == 1:
+                self.start()
+
+    def _on_exit(self, name: str) -> None:
+        if name == self.span_name and self._depth > 0:
+            self._depth -= 1
+            if self._depth == 0:
+                self.stop()
+
+    # -- output --------------------------------------------------------------
+
+    def dump(self, path: str) -> None:
+        """Write the collected stats in ``pstats`` binary format."""
+        self.stop()
+        self.profiler.dump_stats(path)
+
+    def summary(self, limit: int = 15) -> str:
+        """A short cumulative-time summary (for logging)."""
+        import io
+
+        self.stop()
+        buf = io.StringIO()
+        stats = pstats.Stats(self.profiler, stream=buf)
+        stats.sort_stats("cumulative").print_stats(limit)
+        return buf.getvalue()

@@ -1,0 +1,269 @@
+"""The metrics registry — counters, gauges and histograms.
+
+The registry is the accumulation substrate of the observability layer
+(:mod:`repro.obs`): pipeline stages record *what* happened (``intsolve``
+calls, reuse vectors found, points classified per outcome, simulated
+accesses), the tracer records *where time went*, and the exporters render
+both.  Three instrument kinds cover everything the Fig. 7 pipeline needs:
+
+* :class:`Counter` — a monotonically increasing integer (``calls``,
+  ``points``, ``misses``);
+* :class:`Gauge` — a last-write-wins value (``jobs``, configuration);
+* :class:`Histogram` — count/sum/min/max of observed values (RIS volumes,
+  UGS sizes, per-chunk worker seconds).
+
+Metric names form a stable dot-separated namespace documented in README.md
+(``polyhedra.intsolve.calls``, ``cme.points.classified``, ...); exporters
+treat the names as opaque keys, so the schema never changes when metrics
+are added.
+
+Thread-safety: instrument creation, :meth:`MetricsRegistry.merge` and
+:meth:`MetricsRegistry.snapshot` take the registry lock; per-event updates
+take the same lock so concurrent threads (and the parallel engine's merge
+of worker snapshots) never lose counts.
+
+When observability is disabled, :data:`NULL_REGISTRY` stands in: every
+instrument request returns a shared no-op singleton, so the disabled path
+allocates **nothing** per event and per-event calls are empty method
+bodies.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Mapping, Optional
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str, lock: threading.RLock):
+        self.name = name
+        self.value = 0
+        self._lock = lock
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (default 1) to the counter."""
+        with self._lock:
+            self.value += n
+
+
+class Gauge:
+    """A last-write-wins numeric metric."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str, lock: threading.RLock):
+        self.name = name
+        self.value = 0.0
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        with self._lock:
+            self.value = value
+
+
+class Histogram:
+    """Count/sum/min/max summary of observed values."""
+
+    __slots__ = ("name", "count", "sum", "min", "max", "_lock")
+
+    def __init__(self, name: str, lock: threading.RLock):
+        self.name = name
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        """The stable JSON form: ``{count, sum, min, max}``."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges and histograms.
+
+    Instruments are created on first use and cached by name, so call sites
+    may either hoist a handle out of a loop (hot paths) or look the
+    instrument up per event (cold paths) — both hit the same object.
+    """
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instruments ---------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        c = self._counters.get(name)
+        if c is None:
+            with self._lock:
+                c = self._counters.setdefault(name, Counter(name, self._lock))
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        g = self._gauges.get(name)
+        if g is None:
+            with self._lock:
+                g = self._gauges.setdefault(name, Gauge(name, self._lock))
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name`` (created on first use)."""
+        h = self._histograms.get(name)
+        if h is None:
+            with self._lock:
+                h = self._histograms.setdefault(
+                    name, Histogram(name, self._lock)
+                )
+        return h
+
+    # -- aggregation ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A plain-data copy: ``{counters, gauges, histograms}``.
+
+        The returned dict is JSON-serialisable and is the unit the parallel
+        engine ships from workers back to the parent process.
+        """
+        with self._lock:
+            return {
+                "counters": {n: c.value for n, c in self._counters.items()},
+                "gauges": {n: g.value for n, g in self._gauges.items()},
+                "histograms": {
+                    n: h.as_dict() for n, h in self._histograms.items()
+                },
+            }
+
+    def merge(self, snapshot: Mapping) -> None:
+        """Fold a :meth:`snapshot` into this registry.
+
+        Counters and histograms accumulate; gauges take the incoming value
+        (last write wins).  Merging is how per-worker metrics from
+        ``parallel.engine`` become one program-wide view.
+        """
+        with self._lock:
+            for name, value in snapshot.get("counters", {}).items():
+                self.counter(name).inc(value)
+            for name, value in snapshot.get("gauges", {}).items():
+                self.gauge(name).set(value)
+            for name, h in snapshot.get("histograms", {}).items():
+                mine = self.histogram(name)
+                if not h.get("count"):
+                    continue
+                mine.count += h["count"]
+                mine.sum += h["sum"]
+                if mine.min is None or (h["min"] is not None and h["min"] < mine.min):
+                    mine.min = h["min"]
+                if mine.max is None or (h["max"] is not None and h["max"] > mine.max):
+                    mine.max = h["max"]
+
+    def reset(self) -> None:
+        """Drop every instrument (a fresh, empty registry)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+# -- disabled mode -------------------------------------------------------------
+
+
+class _NullCounter:
+    """Shared no-op counter: ``inc`` does nothing, allocates nothing."""
+
+    __slots__ = ()
+    value = 0
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    """Shared no-op gauge."""
+
+    __slots__ = ()
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram:
+    """Shared no-op histogram."""
+
+    __slots__ = ()
+    count = 0
+    sum = 0.0
+    min = None
+    max = None
+    mean = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def as_dict(self) -> dict:
+        return {"count": 0, "sum": 0.0, "min": None, "max": None}
+
+
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullRegistry:
+    """The disabled-mode registry: every request returns a shared no-op.
+
+    This is what makes observability free when off — instrument lookups
+    return module-level singletons (no dict entry, no per-event object) and
+    every recording method is an empty body.
+    """
+
+    def counter(self, name: str) -> _NullCounter:
+        return NULL_COUNTER
+
+    def gauge(self, name: str) -> _NullGauge:
+        return NULL_GAUGE
+
+    def histogram(self, name: str) -> _NullHistogram:
+        return NULL_HISTOGRAM
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def merge(self, snapshot: Mapping) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+
+NULL_REGISTRY = NullRegistry()

@@ -16,7 +16,13 @@ across a :class:`concurrent.futures.ProcessPoolExecutor`:
   bit-identical to the serial one and ``MissReport.__eq__`` holds across
   ``jobs`` (timing fields are excluded from equality);
 * references are dealt round-robin into a few chunks per worker, which
-  balances the skewed RIS volumes of triangular and guarded spaces.
+  balances the skewed RIS volumes of triangular and guarded spaces;
+* when observability (:mod:`repro.obs`) is enabled in the parent, each task
+  carries a flag telling the worker to record into its *own* registry and
+  tracer; finished chunks ship a ``{"metrics", "spans"}`` snapshot back with
+  the results and the parent folds it in under its ``parallel/solve`` span —
+  so merged counters across any ``jobs`` equal the serial run's, and worker
+  time appears nested in the parent's span tree.
 
 Use :class:`ParallelEngine` to keep the pool (and the per-worker caches)
 alive across several solves — e.g. sweeping cache associativities or
@@ -33,6 +39,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable, Optional, Sequence
 
+from repro import obs
 from repro.layout.cache import CacheConfig
 from repro.layout.memory import MemoryLayout
 from repro.normalize.nprogram import NormalizedProgram, NRef
@@ -62,23 +69,46 @@ def _pool_context():
     return multiprocessing.get_context()
 
 
-def _init_worker(payload: bytes) -> None:
-    """Pool initializer: unpickle the shared state once per worker."""
+def _load_state(payload: bytes) -> None:
+    """Unpickle the shared analysis state into this process's cache."""
     global _STATE
     nprog, layout, cache, reuse = pickle.loads(payload)
     _STATE = (nprog, PointClassifier(nprog, layout, cache, reuse))
 
 
-def _solve_chunk(
-    task: tuple[str, tuple[int, ...], float, float, int],
-) -> tuple[list[RefResult], float]:
-    """Solve one chunk of reference uids inside a worker process."""
+def _init_worker(payload: bytes) -> None:
+    """Pool initializer: load the shared state once per worker.
+
+    Observability starts *disabled* in every worker — with the ``fork``
+    start method a worker would otherwise inherit a copy of the parent's
+    already-accumulated metrics and double-count them on merge.  Each task
+    carries its own flag to switch recording on per chunk.
+    """
+    _load_state(payload)
+    obs.disable()
+
+
+#: A solve task: ``(method, uids, confidence, width, seed, ship_obs)``.
+Task = tuple[str, tuple[int, ...], float, float, int, bool]
+
+
+def _solve_chunk(task: Task) -> tuple[list[RefResult], float, Optional[dict]]:
+    """Solve one chunk of reference uids inside a worker process.
+
+    Returns ``(results, solver_seconds, obs_snapshot)``.  The snapshot is
+    ``None`` unless the task's ``ship_obs`` flag is set, in which case the
+    worker-local metrics and spans recorded while solving this chunk are
+    serialised and the worker-side instruments reset (so chunks never
+    double-count).
+    """
     from repro.cme.estimate import estimate_ref_misses
     from repro.cme.find import find_ref_misses
 
-    method, uids, confidence, width, seed = task
+    method, uids, confidence, width, seed, ship_obs = task
     assert _STATE is not None, "worker used before initialisation"
     nprog, classifier = _STATE
+    if ship_obs and not obs.is_enabled():
+        obs.enable()
     started = time.perf_counter()
     results: list[RefResult] = []
     for uid in uids:
@@ -91,7 +121,15 @@ def _solve_chunk(
                     classifier, nprog, ref, confidence, width, seed
                 )
             )
-    return results, time.perf_counter() - started
+    solver_seconds = time.perf_counter() - started
+    snap: Optional[dict] = None
+    if ship_obs:
+        snap = {
+            "metrics": obs.registry().snapshot(),
+            "spans": obs.tracer().snapshot(),
+        }
+        obs.reset()
+    return results, solver_seconds, snap
 
 
 def _deal_chunks(uids: Sequence[int], jobs: int) -> list[tuple[int, ...]]:
@@ -179,31 +217,49 @@ class ParallelEngine:
         name = "FindMisses" if method == "find" else "EstimateMisses"
         cache = pickle.loads(self._payload)[2]
         report = MissReport(name, cache, jobs=self.jobs)
-        if self.jobs <= 1 or len(uids) <= 1:
-            # Serial path through the identical chunk code (no pool).
-            _init_worker(self._payload)
-            results, solver = _solve_chunk(
-                (method, tuple(uids), confidence, width, seed)
-            )
-            by_uid = {r.ref_uid: r for r in results}
-            report.solver_seconds = solver
-        else:
-            pool = self._ensure_pool()
-            tasks = [
-                (method, chunk, confidence, width, seed)
-                for chunk in _deal_chunks(uids, self.jobs)
-            ]
-            by_uid = {}
-            solver = 0.0
-            for results, chunk_seconds in pool.map(_solve_chunk, tasks):
-                solver += chunk_seconds
-                for r in results:
-                    by_uid[r.ref_uid] = r
-            report.solver_seconds = solver
-        # Reassemble in the caller's reference order: identical to serial.
-        for uid in uids:
-            report.results[uid] = by_uid[uid]
+        obs.gauge("parallel.jobs").set(self.jobs)
+        with obs.span("parallel/solve"):
+            if self.jobs <= 1 or len(uids) <= 1:
+                # Serial path through the identical chunk code (no pool).
+                # ``ship_obs=False``: this process's live instruments record
+                # directly, so nothing must be snapshot/reset here.
+                _load_state(self._payload)
+                results, solver, _ = _solve_chunk(
+                    (method, tuple(uids), confidence, width, seed, False)
+                )
+                by_uid = {r.ref_uid: r for r in results}
+                report.solver_seconds = solver
+            else:
+                pool = self._ensure_pool()
+                ship_obs = obs.is_enabled()
+                chunks = _deal_chunks(uids, self.jobs)
+                shard_hist = obs.histogram("parallel.shard_size")
+                for chunk in chunks:
+                    shard_hist.observe(len(chunk))
+                obs.counter("parallel.chunks").inc(len(chunks))
+                tasks = [
+                    (method, chunk, confidence, width, seed, ship_obs)
+                    for chunk in chunks
+                ]
+                by_uid = {}
+                solver = 0.0
+                worker_hist = obs.histogram("parallel.worker_seconds")
+                for results, chunk_seconds, snap in pool.map(
+                    _solve_chunk, tasks
+                ):
+                    solver += chunk_seconds
+                    worker_hist.observe(chunk_seconds)
+                    if snap is not None:
+                        obs.merge_snapshot(snap)
+                    for r in results:
+                        by_uid[r.ref_uid] = r
+                report.solver_seconds = solver
+            # Reassemble in the caller's reference order: identical to serial.
+            for uid in uids:
+                report.results[uid] = by_uid[uid]
         report.elapsed_seconds = time.perf_counter() - started
+        if obs.is_enabled():
+            report.metrics = obs.snapshot()
         return report
 
 

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro import obs
+
 Matrix = list[list[int]]
 Vector = list[int]
 
@@ -112,7 +114,22 @@ def solve_integer(
     unique solution is returned; otherwise any solution differing by a null
     space lattice vector is equally valid (the reuse-vector generator
     enumerates the lattice separately).
+
+    Each call counts toward ``polyhedra.intsolve.calls`` and, by outcome,
+    ``polyhedra.intsolve.solutions`` / ``polyhedra.intsolve.infeasible``.
     """
+    x = _solve_integer(a, b)
+    obs.counter("polyhedra.intsolve.calls").inc()
+    if x is None:
+        obs.counter("polyhedra.intsolve.infeasible").inc()
+    else:
+        obs.counter("polyhedra.intsolve.solutions").inc()
+    return x
+
+
+def _solve_integer(
+    a: Sequence[Sequence[int]], b: Sequence[int]
+) -> Optional[Vector]:
     m = len(a)
     n = len(a[0]) if m else 0
     if len(b) != m:
@@ -137,7 +154,11 @@ def solve_integer(
 
 
 def nullspace_basis(a: Sequence[Sequence[int]]) -> list[Vector]:
-    """A lattice basis of the integer null space ``{x : A·x = 0}``."""
+    """A lattice basis of the integer null space ``{x : A·x = 0}``.
+
+    Counted as ``polyhedra.nullspace.calls``.
+    """
+    obs.counter("polyhedra.nullspace.calls").inc()
     m = len(a)
     n = len(a[0]) if m else 0
     if n == 0:

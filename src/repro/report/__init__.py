@@ -1,5 +1,5 @@
 """Paper-style reporting helpers."""
 
-from repro.report.tables import assoc_label, format_table
+from repro.report.tables import assoc_label, format_table, with_timing
 
-__all__ = ["assoc_label", "format_table"]
+__all__ = ["assoc_label", "format_table", "with_timing"]

@@ -32,6 +32,26 @@ def format_table(
     return "\n".join(lines)
 
 
+def with_timing(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    seconds: Sequence[float],
+    label: str = "Time (s)",
+) -> tuple[list[str], list[list[object]]]:
+    """Append an optional timing column to a table.
+
+    ``seconds`` aligns with ``rows``; values are rendered with millisecond
+    precision (observability phase tables need more resolution than the
+    default two decimals).  Returns ``(headers, rows)`` ready for
+    :func:`format_table`.
+    """
+    if len(seconds) != len(rows):
+        raise ValueError("seconds must align one-to-one with rows")
+    new_headers = list(headers) + [label]
+    new_rows = [list(row) + [f"{s:.3f}"] for row, s in zip(rows, seconds)]
+    return new_headers, new_rows
+
+
 def _fmt(cell: object) -> str:
     if isinstance(cell, float):
         return f"{cell:.2f}"

@@ -26,6 +26,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 
+from repro import obs
 from repro.normalize.nprogram import NormalizedProgram, NRef
 from repro.polyhedra.intsolve import matvec, nullspace_basis, solve_integer
 from repro.iteration.position import interleave, lex_positive
@@ -201,19 +202,52 @@ def build_reuse_table(
     line_bytes: int,
     options: ReuseOptions | None = None,
 ) -> ReuseTable:
-    """Generate and sort all reuse vectors of a normalised program."""
+    """Generate and sort all reuse vectors of a normalised program.
+
+    Observability: runs under the ``reuse/build_table`` span and records
+    ``reuse.ugs.count``, the ``reuse.ugs.size`` histogram and the
+    ``reuse.vectors.*`` per-kind counters.
+    """
     options = options if options is not None else ReuseOptions()
-    extents = _depth_extents(nprog)
-    by_consumer: dict[int, list[ReuseVector]] = {r.uid: [] for r in nprog.refs}
-    for group in uniformly_generated_sets(nprog):
-        for rc in group:
-            vectors = by_consumer[rc.uid]
-            for rp in group:
-                vectors.extend(
-                    generate_pair_vectors(
-                        rp, rc, nprog.depth, line_bytes, extents, options
+    with obs.span("reuse/build_table"):
+        extents = _depth_extents(nprog)
+        by_consumer: dict[int, list[ReuseVector]] = {
+            r.uid: [] for r in nprog.refs
+        }
+        groups = uniformly_generated_sets(nprog)
+        obs.counter("reuse.ugs.count").inc(len(groups))
+        size_hist = obs.histogram("reuse.ugs.size")
+        for group in groups:
+            size_hist.observe(len(group))
+            for rc in group:
+                vectors = by_consumer[rc.uid]
+                for rp in group:
+                    vectors.extend(
+                        generate_pair_vectors(
+                            rp, rc, nprog.depth, line_bytes, extents, options
+                        )
                     )
-                )
-    for vectors in by_consumer.values():
-        vectors.sort(key=lambda rv: rv.sort_key())
-    return ReuseTable(by_consumer)
+        for vectors in by_consumer.values():
+            vectors.sort(key=lambda rv: rv.sort_key())
+        table = ReuseTable(by_consumer)
+        _record_vector_metrics(table)
+    return table
+
+
+def _record_vector_metrics(table: ReuseTable) -> None:
+    """Bulk per-kind vector counters (no-ops while observability is off)."""
+    if not obs.is_enabled():
+        return
+    counts = table.counts()
+    for key, n in counts.items():
+        obs.counter(f"reuse.vectors.{key.replace('-', '_')}").inc(n)
+    obs.counter("reuse.vectors.total").inc(sum(counts.values()))
+    # Cross-column spatial vectors are exactly the spatial solutions
+    # supported on two or more index dimensions (Fig. 3).
+    cross = sum(
+        1
+        for rv in table.all_vectors()
+        if rv.kind == SPATIAL
+        and sum(1 for c in rv.index_part() if c != 0) >= 2
+    )
+    obs.counter("reuse.vectors.cross_column").inc(cross)

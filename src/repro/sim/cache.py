@@ -19,7 +19,14 @@ class SetAssocLRUCache:
     and evict operations.
     """
 
-    __slots__ = ("config", "_sets", "_num_sets", "_assoc", "_line_bytes")
+    __slots__ = (
+        "config",
+        "_sets",
+        "_num_sets",
+        "_assoc",
+        "_line_bytes",
+        "evictions",
+    )
 
     def __init__(self, config: CacheConfig):
         self.config = config
@@ -27,6 +34,8 @@ class SetAssocLRUCache:
         self._assoc = config.assoc
         self._line_bytes = config.line_bytes
         self._sets: list[dict[int, None]] = [dict() for _ in range(self._num_sets)]
+        #: Lines displaced by capacity/conflict so far (``sim.evictions``).
+        self.evictions = 0
 
     def access_line(self, line: int) -> bool:
         """Touch a memory line; returns True on a hit."""
@@ -37,6 +46,7 @@ class SetAssocLRUCache:
             return True
         if len(s) >= self._assoc:
             del s[next(iter(s))]  # evict LRU
+            self.evictions += 1
         s[line] = None
         return False
 

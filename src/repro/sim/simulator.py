@@ -5,6 +5,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.layout.cache import CacheConfig
 from repro.layout.memory import MemoryLayout
 from repro.normalize.nprogram import NormalizedProgram, NRef
@@ -74,6 +75,13 @@ def simulate(
         return False
 
     started = time.perf_counter()
-    walker.walk(visit)
+    with obs.span("sim/walk"):
+        walker.walk(visit)
     elapsed = time.perf_counter() - started
-    return SimReport(cache, accesses, misses, elapsed)
+    report = SimReport(cache, accesses, misses, elapsed)
+    # Bulk counters after the walk — nothing observable in the hot loop.
+    obs.counter("sim.accesses").inc(report.total_accesses)
+    obs.counter("sim.misses").inc(report.total_misses)
+    obs.counter("sim.hits").inc(report.total_accesses - report.total_misses)
+    obs.counter("sim.evictions").inc(state.evictions)
+    return report

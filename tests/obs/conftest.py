@@ -1,0 +1,12 @@
+"""Every observability test starts and ends with the global state off."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    yield
+    obs.disable()

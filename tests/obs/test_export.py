@@ -1,0 +1,115 @@
+"""Exporters: JSON schema round-trip, validation, tree rendering."""
+
+import json
+
+from repro import obs
+from repro.obs.export import (
+    SCHEMA,
+    build_snapshot,
+    render_tree,
+    to_json,
+    top_counters,
+    validate_snapshot,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+
+def populated_snapshot():
+    reg = MetricsRegistry()
+    reg.counter("cme.points.classified").inc(100)
+    reg.counter("polyhedra.intsolve.calls").inc(7)
+    reg.gauge("parallel.jobs").set(4)
+    reg.histogram("polyhedra.ris.volume").observe(961.0)
+    tracer = Tracer()
+    with tracer.span("cme/estimate"):
+        with tracer.span("cme/classify_ref"):
+            pass
+    return build_snapshot(reg, tracer)
+
+
+class TestRoundTrip:
+    def test_snapshot_is_schema_valid(self):
+        assert validate_snapshot(populated_snapshot()) == []
+
+    def test_json_round_trip_preserves_document(self):
+        snap = populated_snapshot()
+        loaded = json.loads(to_json(snap))
+        assert loaded == snap
+        assert validate_snapshot(loaded) == []
+
+    def test_schema_stamp(self):
+        assert populated_snapshot()["schema"] == SCHEMA
+
+    def test_json_is_deterministic(self):
+        snap = populated_snapshot()
+        assert to_json(snap) == to_json(json.loads(to_json(snap)))
+
+    def test_global_snapshot_validates(self):
+        obs.enable()
+        obs.counter("a.b").inc()
+        with obs.span("phase"):
+            pass
+        assert validate_snapshot(obs.snapshot()) == []
+
+    def test_disabled_snapshot_validates(self):
+        assert validate_snapshot(obs.snapshot()) == []
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        assert validate_snapshot([1, 2]) != []
+
+    def test_rejects_wrong_schema(self):
+        snap = populated_snapshot()
+        snap["schema"] = "other/v9"
+        assert any("schema" in e for e in validate_snapshot(snap))
+
+    def test_rejects_non_int_counter(self):
+        snap = populated_snapshot()
+        snap["counters"]["bad"] = "7"
+        assert any("bad" in e for e in validate_snapshot(snap))
+
+    def test_rejects_bool_counter(self):
+        snap = populated_snapshot()
+        snap["counters"]["bad"] = True
+        assert any("bad" in e for e in validate_snapshot(snap))
+
+    def test_rejects_malformed_histogram(self):
+        snap = populated_snapshot()
+        snap["histograms"]["h"] = {"count": 1}
+        assert any("missing" in e for e in validate_snapshot(snap))
+
+    def test_rejects_malformed_span(self):
+        snap = populated_snapshot()
+        snap["spans"].append({"name": "x", "count": "1", "seconds": 0.0})
+        assert validate_snapshot(snap) != []
+
+    def test_rejects_bad_nested_span(self):
+        snap = populated_snapshot()
+        snap["spans"][0]["children"].append({"name": 5})
+        assert validate_snapshot(snap) != []
+
+
+class TestRendering:
+    def test_render_tree_shows_names_counts_times(self):
+        snap = populated_snapshot()
+        text = render_tree(snap["spans"])
+        assert "cme/estimate" in text
+        assert "cme/classify_ref" in text
+        assert "×1" in text
+
+    def test_render_empty(self):
+        assert "no spans" in render_tree([])
+
+
+class TestTopCounters:
+    def test_orders_by_value_then_name(self):
+        snap = populated_snapshot()
+        top = top_counters(snap, k=2)
+        assert top[0] == ("cme.points.classified", 100)
+        assert top[1] == ("polyhedra.intsolve.calls", 7)
+
+    def test_stable_tie_break(self):
+        snap = {"counters": {"b": 1, "a": 1}}
+        assert top_counters(snap, k=2) == [("a", 1), ("b", 1)]

@@ -1,0 +1,138 @@
+"""The metrics registry: instruments, merge semantics, disabled mode."""
+
+import threading
+
+from repro.obs.registry import (
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    NULL_REGISTRY,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b").inc()
+        reg.counter("a.b").inc(41)
+        assert reg.counter("a.b").value == 42
+
+    def test_counter_identity_by_name(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.counter("x") is not reg.counter("y")
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("jobs").set(4)
+        reg.gauge("jobs").set(2)
+        assert reg.gauge("jobs").value == 2
+
+    def test_histogram_summary(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        for v in (5.0, 1.0, 3.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == 9.0
+        assert h.min == 1.0
+        assert h.max == 5.0
+        assert h.mean == 3.0
+
+    def test_empty_histogram(self):
+        h = MetricsRegistry().histogram("h")
+        assert h.mean == 0.0
+        assert h.as_dict() == {"count": 0, "sum": 0.0, "min": None, "max": None}
+
+
+class TestSnapshotMerge:
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(7)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(2.0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 7}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_merge_accumulates_counters_and_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(10)
+        b.counter("c").inc(32)
+        a.histogram("h").observe(1.0)
+        b.histogram("h").observe(9.0)
+        a.merge(b.snapshot())
+        assert a.counter("c").value == 42
+        h = a.histogram("h")
+        assert (h.count, h.sum, h.min, h.max) == (2, 10.0, 1.0, 9.0)
+
+    def test_merge_into_empty_registry(self):
+        src = MetricsRegistry()
+        src.counter("c").inc(3)
+        src.gauge("g").set(2)
+        src.histogram("h").observe(4.0)
+        dst = MetricsRegistry()
+        dst.merge(src.snapshot())
+        assert dst.snapshot() == src.snapshot()
+
+    def test_merge_empty_histogram_is_noop(self):
+        dst = MetricsRegistry()
+        dst.histogram("h").observe(1.0)
+        dst.merge({"histograms": {"h": {"count": 0, "sum": 0.0, "min": None, "max": None}}})
+        assert dst.histogram("h").count == 1
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_threaded_increments_do_not_lose_counts(self):
+        reg = MetricsRegistry()
+        c = reg.counter("threads")
+
+        def spin():
+            for _ in range(10_000):
+                c.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 40_000
+
+
+class TestNullRegistry:
+    def test_shared_singletons_allocate_nothing_per_event(self):
+        # Every lookup returns the same module-level no-op object: the
+        # disabled path creates no instrument, no dict entry, no state.
+        assert NULL_REGISTRY.counter("a") is NULL_COUNTER
+        assert NULL_REGISTRY.counter("b") is NULL_COUNTER
+        assert NULL_REGISTRY.gauge("a") is NULL_GAUGE
+        assert NULL_REGISTRY.histogram("a") is NULL_HISTOGRAM
+
+    def test_noop_recording(self):
+        NULL_COUNTER.inc(100)
+        NULL_GAUGE.set(5)
+        NULL_HISTOGRAM.observe(1.0)
+        assert NULL_COUNTER.value == 0
+        assert NULL_GAUGE.value == 0.0
+        assert NULL_HISTOGRAM.count == 0
+        assert NULL_REGISTRY.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_null_instruments_have_no_instance_dict(self):
+        # __slots__ = () guarantees no per-instance allocation is possible.
+        assert not hasattr(NULL_COUNTER, "__dict__")
+        assert not hasattr(NULL_HISTOGRAM, "__dict__")
+
+    def test_merge_and_reset_are_noops(self):
+        NULL_REGISTRY.merge({"counters": {"c": 3}})
+        NULL_REGISTRY.reset()
+        assert NULL_REGISTRY.counter("c").value == 0

@@ -1,8 +1,20 @@
 """CLI tests: every subcommand end to end via ``main(argv)``."""
 
+import json
+
 import pytest
 
+from repro import obs
 from repro.cli import main
+from repro.obs.export import validate_snapshot
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Observability flags mutate global state; start and end clean."""
+    obs.disable()
+    yield
+    obs.disable()
 
 
 class TestStats:
@@ -80,3 +92,74 @@ class TestErrors:
     def test_bad_cache_spec(self):
         with pytest.raises(SystemExit):
             main(["analyze", "hydro", "--size", "8", "--cache", "banana"])
+
+    def test_profile_span_requires_profile_out(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "hydro", "--size", "8",
+                  "--profile-span", "cme/estimate"])
+
+
+ANALYZE = ["analyze", "hydro", "--size", "16", "--cache", "2:32:1"]
+
+
+class TestObservabilityFlags:
+    def test_trace_prints_span_tree_on_stderr(self, capsys):
+        assert main(ANALYZE + ["--trace"]) == 0
+        captured = capsys.readouterr()
+        for phase in ("prepare/normalise", "prepare/layout",
+                      "reuse/build_table", "cme/estimate"):
+            assert phase in captured.err
+        assert "Per-phase wall time" in captured.err
+        assert phase not in captured.out
+
+    def test_metrics_out_writes_schema_valid_json(self, tmp_path, capsys):
+        out = tmp_path / "m.json"
+        assert main(ANALYZE + ["--metrics-out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert validate_snapshot(doc) == []
+        assert doc["counters"]["cme.points.classified"] > 0
+        assert "metrics written" in capsys.readouterr().out
+
+    def test_metrics_out_dash_keeps_stdout_machine_readable(self, capsys):
+        assert main(ANALYZE + ["--metrics-out", "-"]) == 0
+        captured = capsys.readouterr()
+        doc = json.loads(captured.out)  # stdout must be pure JSON
+        assert validate_snapshot(doc) == []
+        assert "Worst references" in captured.err
+
+    def test_quiet_silences_everything_but_the_final_table(self, capsys):
+        assert main(ANALYZE + ["--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "points analysed" not in out  # the diagnostic summary line
+        assert "Worst references" in out  # the final table survives
+
+    def test_quiet_simulate_keeps_result_line(self, capsys):
+        assert main(["simulate", "hydro", "--size", "16",
+                     "--cache", "2:32:1", "--quiet"]) == 0
+        assert "miss ratio" in capsys.readouterr().out
+
+    def test_profile_out_writes_pstats(self, tmp_path, capsys):
+        import pstats
+
+        out = tmp_path / "p.pstats"
+        assert main(ANALYZE + ["--profile-out", str(out)]) == 0
+        assert pstats.Stats(str(out)).total_calls > 0
+
+    def test_profile_span_scopes_collection(self, tmp_path):
+        import pstats
+
+        out = tmp_path / "p.pstats"
+        assert main(ANALYZE + ["--profile-out", str(out),
+                    "--profile-span", "cme/estimate"]) == 0
+        assert pstats.Stats(str(out)).total_calls > 0
+
+    def test_jobs_metrics_match_serial(self, tmp_path):
+        serial, parallel = tmp_path / "s.json", tmp_path / "p.json"
+        assert main(ANALYZE + ["--metrics-out", str(serial)]) == 0
+        assert main(ANALYZE + ["--jobs", "2", "--metrics-out",
+                    str(parallel)]) == 0
+        s = json.loads(serial.read_text())["counters"]
+        p = json.loads(parallel.read_text())["counters"]
+        for name in ("cme.points.classified", "polyhedra.intsolve.calls",
+                     "cme.points.cold", "cme.points.hit"):
+            assert p[name] == s[name], name
