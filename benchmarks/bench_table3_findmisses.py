@@ -13,11 +13,12 @@ kernels still miss.
 """
 
 import sys
+import time
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
 from _common import emit, once
 
-from repro import CacheConfig, analyze, prepare, run_simulation
+from repro import CacheConfig, Memoizer, analyze, prepare, run_simulation
 from repro.kernels import build_hydro, build_mgrid, build_mmt
 from repro.report import assoc_label, format_table
 
@@ -100,3 +101,73 @@ def test_table3_findmisses_vs_simulator(benchmark):
             assert find_misses == sim_misses, f"{name} should match exactly"
         else:
             assert find_misses >= sim_misses, f"{name} must be conservative"
+
+
+def memo_sweep(builder, cache_dir, jobs=1):
+    """One full Table 3 sweep (all associativities) against a memo store.
+
+    ``prepare`` runs fresh each sweep, so the measured warm speedup is the
+    honest end-to-end one: the front half of the pipeline is re-paid, only
+    the solved equation systems are replayed from disk.
+    """
+    started = time.perf_counter()
+    prepared = prepare(builder())
+    reports = []
+    with Memoizer.open(cache_dir) as memo:
+        for assoc in (1, 2, 4):
+            cache = CacheConfig.kb(CACHE_KB, 32, assoc)
+            reports.append(
+                analyze(prepared, cache, method="find", memo=memo, jobs=jobs)
+            )
+    return reports, memo, time.perf_counter() - started
+
+
+def compute_memo_rows(tmp_dir):
+    rows = []
+    for name, builder, _ in SCALED:
+        cache_dir = f"{tmp_dir}/{name}"
+        cold_reports, cold, cold_t = memo_sweep(builder, cache_dir)
+        warm_reports, warm, warm_t = memo_sweep(builder, cache_dir)
+        par_reports, par, par_t = memo_sweep(builder, cache_dir, jobs=4)
+
+        assert warm_reports == cold_reports, f"{name}: warm run diverged"
+        assert par_reports == cold_reports, f"{name}: jobs=4 warm run diverged"
+        assert warm.misses == 0, f"{name}: warm run re-solved systems"
+        assert warm.hits == cold.hits + cold.misses
+        assert (warm.hits, warm.misses, warm.groups) == (
+            par.hits,
+            par.misses,
+            par.groups,
+        ), f"{name}: memo counters differ between serial and jobs=4"
+
+        speedup = cold_t / warm_t if warm_t > 0 else float("inf")
+        assert speedup >= 5.0, (
+            f"{name}: warm sweep only {speedup:.1f}x faster than cold"
+        )
+        rows.append(
+            (name, cold.misses, cold.hits, cold_t, warm_t, par_t, speedup)
+        )
+    return rows
+
+
+def test_table3_memoization_cold_vs_warm(benchmark, tmp_path):
+    rows = once(benchmark, lambda: compute_memo_rows(str(tmp_path)))
+    emit(
+        "table3_memo",
+        format_table(
+            [
+                "Program",
+                "Solved",
+                "Deduped",
+                "Cold t(s)",
+                "Warm t(s)",
+                "Warm t(s) j=4",
+                "Speedup",
+            ],
+            rows,
+            title=(
+                f"Table 3 kernels — cold vs warm FindMisses with --cache-dir "
+                f"({CACHE_KB}KB/32B, all associativities)"
+            ),
+        ),
+    )

@@ -12,11 +12,12 @@ programs and all three associativities.
 """
 
 import sys
+import time
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
 from _common import emit, once
 
-from repro import CacheConfig, analyze, prepare, run_simulation
+from repro import CacheConfig, Memoizer, analyze, prepare, run_simulation
 from repro.programs import build_applu_like, build_swim_like, build_tomcatv_like
 from repro.report import assoc_label, format_table
 
@@ -78,3 +79,54 @@ def test_table6_whole_programs(benchmark):
     emit("table6", paper + "\n\n" + measured)
     for row in rows:
         assert row[4] < 3.0, f"absolute error too large for {row[0]} {row[1]}"
+
+
+def memo_sweep(builder, cache_dir):
+    """One EstimateMisses sweep over the associativities against a store.
+
+    The estimate keys embed the per-reference seed, so warm replays are
+    bit-identical to the cold sampling run (``prepare`` is re-paid fresh).
+    """
+    started = time.perf_counter()
+    prepared = prepare(builder())
+    reports = []
+    with Memoizer.open(cache_dir) as memo:
+        for assoc in (1, 2, 4):
+            cache = CacheConfig.kb(CACHE_KB, 32, assoc)
+            reports.append(
+                analyze(prepared, cache, method="estimate", seed=0, memo=memo)
+            )
+    return reports, memo, time.perf_counter() - started
+
+
+def compute_memo_rows(tmp_dir):
+    rows = []
+    for name, builder in SCALED:
+        cache_dir = f"{tmp_dir}/{name}"
+        cold_reports, cold, cold_t = memo_sweep(builder, cache_dir)
+        warm_reports, warm, warm_t = memo_sweep(builder, cache_dir)
+        assert warm_reports == cold_reports, f"{name}: warm run diverged"
+        assert warm.misses == 0, f"{name}: warm run re-sampled references"
+        assert warm.hits == cold.hits + cold.misses
+        speedup = cold_t / warm_t if warm_t > 0 else float("inf")
+        rows.append((name, cold.misses, cold_t, warm_t, speedup))
+    return rows
+
+
+def test_table6_memoization_cold_vs_warm(benchmark, tmp_path):
+    rows = once(benchmark, lambda: compute_memo_rows(str(tmp_path)))
+    emit(
+        "table6_memo",
+        format_table(
+            ["Program", "Solved", "Cold t(s)", "Warm t(s)", "Speedup"],
+            rows,
+            title=(
+                f"Table 6 programs — cold vs warm EstimateMisses with "
+                f"--cache-dir ({CACHE_KB}KB/32B, all associativities)"
+            ),
+        ),
+    )
+    for name, _, _, _, speedup in rows:
+        assert speedup >= 5.0, (
+            f"{name}: warm sweep only {speedup:.1f}x faster than cold"
+        )

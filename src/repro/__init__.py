@@ -53,6 +53,7 @@ from repro.ir import (
     program_stats,
 )
 from repro.layout import CacheConfig, MemoryLayout, layout_for_refs
+from repro.memo import Memoizer
 from repro.normalize import NormalizedProgram, normalize
 from repro.parallel import ParallelEngine, solve_parallel
 from repro.polyhedra import Affine, Var
@@ -93,6 +94,7 @@ __all__ = [
     "CacheConfig",
     "MemoryLayout",
     "layout_for_refs",
+    "Memoizer",
     "NormalizedProgram",
     "normalize",
     "ParallelEngine",

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Mapping, Optional, Union
+from typing import Mapping, Optional, TYPE_CHECKING, Union
 
 from repro import obs
 from repro.ir.nodes import Program
@@ -37,6 +37,9 @@ from repro.cme.estimate import estimate_misses
 from repro.cme.find import find_misses
 from repro.cme.result import MissReport
 from repro.sim.simulator import SimReport, simulate
+
+if TYPE_CHECKING:  # repro.memo imports repro.cme — keep this lazy
+    from repro.memo import Memoizer
 
 
 @dataclass
@@ -119,6 +122,7 @@ def analyze(
     seed: int = 0,
     reuse_options: Optional[ReuseOptions] = None,
     jobs: int = 1,
+    memo: Optional["Memoizer"] = None,
 ) -> MissReport:
     """Predict the cache behaviour analytically.
 
@@ -127,7 +131,9 @@ def analyze(
     ``"find"`` (exhaustive, exact when reuse information is complete).
     ``jobs`` shards the per-reference work across worker processes
     (``1`` = serial, ``0``/negative = all CPUs); the report is identical
-    for every job count.
+    for every job count.  ``memo`` (a :class:`repro.memo.Memoizer`) enables
+    content-addressed memoization of per-reference solutions — in-run
+    dedup, and cross-run persistence when the memoizer carries a store.
     """
     prepared = _as_prepared(target)
     reuse = prepared.reuse_table(cache.line_bytes, reuse_options)
@@ -139,6 +145,7 @@ def analyze(
             reuse=reuse,
             walker=prepared.walker,
             jobs=jobs,
+            memo=memo,
         )
     if method == "estimate":
         return estimate_misses(
@@ -151,6 +158,7 @@ def analyze(
             walker=prepared.walker,
             seed=seed,
             jobs=jobs,
+            memo=memo,
         )
     raise ValueError(f"unknown method {method!r}; use 'find' or 'estimate'")
 

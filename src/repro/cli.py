@@ -21,6 +21,13 @@ Observability flags (accepted by every subcommand):
 * ``--quiet`` — silence diagnostics (the ``repro`` logger) so only the
   final table is printed.
 
+Memoization flags (``analyze`` and ``compare``):
+
+* ``--cache-dir DIR`` — content-addressed memoization of per-reference
+  solutions with a persistent store under ``DIR``; a warm re-run replays
+  stored results instead of re-solving (see README "Caching");
+* ``--no-cache`` — switch memoization off.
+
 Diagnostic lines go through :mod:`logging` (logger ``repro.cli``); final
 tables are printed directly, so ``--quiet`` silences everything except the
 result.
@@ -101,6 +108,49 @@ def _add_jobs_arg(sub: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_memo_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="persist memoized per-reference solutions under DIR; warm "
+        "re-runs replay stored results (see README 'Caching')",
+    )
+    sub.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable memoization entirely (in-run dedup included)",
+    )
+
+
+def _open_memoizer(args):
+    """The memoizer implied by ``--cache-dir``/``--no-cache`` (or ``None``)."""
+    if getattr(args, "no_cache", False):
+        return None
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is None:
+        return None
+    from repro.memo import Memoizer
+
+    return Memoizer.open(cache_dir)
+
+
+def _close_memoizer(memo) -> None:
+    """Flush new solutions and log the memoization tallies."""
+    if memo is None:
+        return
+    written = memo.flush()
+    log.info(
+        "memo: %d hit(s), %d miss(es), %d group(s), %d from store, "
+        "%d newly persisted",
+        memo.hits,
+        memo.misses,
+        memo.groups,
+        memo.store_hits,
+        written,
+    )
+
+
 def _add_obs_args(sub: argparse.ArgumentParser) -> None:
     sub.add_argument(
         "--trace",
@@ -178,6 +228,7 @@ def _cmd_stats(args, program: Program, echo: Callable[[str], None]) -> int:
 def _cmd_analyze(args, program: Program, echo: Callable[[str], None]) -> int:
     cache = _parse_cache(args.cache)
     prepared = prepare(program)
+    memo = _open_memoizer(args)
     report = analyze(
         prepared,
         cache,
@@ -186,7 +237,9 @@ def _cmd_analyze(args, program: Program, echo: Callable[[str], None]) -> int:
         width=args.width,
         seed=args.seed,
         jobs=args.jobs,
+        memo=memo,
     )
+    _close_memoizer(memo)
     log.info(
         "%s on %s: miss ratio %.2f%% (%.0f of %d accesses, %s, %.2fs, "
         "%d points analysed, %d job(s), %.0f points/s)",
@@ -236,7 +289,11 @@ def _cmd_simulate(args, program: Program, echo: Callable[[str], None]) -> int:
 def _cmd_compare(args, program: Program, echo: Callable[[str], None]) -> int:
     cache = _parse_cache(args.cache)
     prepared = prepare(program)
-    analytic = analyze(prepared, cache, method=args.method, jobs=args.jobs)
+    memo = _open_memoizer(args)
+    analytic = analyze(
+        prepared, cache, method=args.method, jobs=args.jobs, memo=memo
+    )
+    _close_memoizer(memo)
     simulated = run_simulation(prepared, cache)
     err = abs(analytic.miss_ratio_percent - simulated.miss_ratio_percent)
     echo(
@@ -311,6 +368,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     p_analyze.add_argument("--width", type=float, default=0.05)
     p_analyze.add_argument("--seed", type=int, default=0)
     _add_jobs_arg(p_analyze)
+    _add_memo_args(p_analyze)
     _add_obs_args(p_analyze)
 
     p_sim = subs.add_parser("simulate", help="trace-driven LRU simulation")
@@ -323,6 +381,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "--method", choices=["estimate", "find"], default="estimate"
     )
     _add_jobs_arg(p_cmp)
+    _add_memo_args(p_cmp)
     _add_obs_args(p_cmp)
 
     p_stats = subs.add_parser("stats", help="Table 5 / Table 2 style statistics")

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import random
 import time
-from typing import Iterable, Optional
+from typing import Iterable, Optional, TYPE_CHECKING
 
 from repro import obs
 from repro.layout.cache import CacheConfig
@@ -36,6 +36,9 @@ from repro.stats.confidence import DEFAULT_FALLBACK, achievable, sample_size
 from repro.cme.find import record_ref_metrics
 from repro.cme.point import PointClassifier, Outcome
 from repro.cme.result import MissReport, RefResult
+
+if TYPE_CHECKING:  # repro.memo imports repro.cme.result — keep this lazy
+    from repro.memo import Memoizer
 
 
 def ref_rng(seed: int, ref: NRef) -> random.Random:
@@ -99,6 +102,7 @@ def estimate_misses(
     reuse_options: Optional[ReuseOptions] = None,
     seed: int = 0,
     jobs: int = 1,
+    memo: Optional["Memoizer"] = None,
 ) -> MissReport:
     """Estimate per-reference and whole-program miss ratios by sampling.
 
@@ -107,6 +111,10 @@ def estimate_misses(
     base of the per-reference seeds; the legacy ``rng`` argument is folded
     into a base seed so older call sites stay deterministic.  ``jobs > 1``
     shards references across a process pool with identical results.
+    ``memo`` enables content-addressed memoization; estimate keys include
+    the per-reference seed ``seed ^ ref.uid``, so replays are bit-identical
+    to the sampling runs that produced them (and two references never share
+    a key within one run — in-run dedup only applies to ``find``).
     """
     started = time.perf_counter()
     if rng is not None:
@@ -128,14 +136,27 @@ def estimate_misses(
             confidence=confidence,
             width=width,
             seed=seed,
+            memo=memo,
         )
     classifier = PointClassifier(nprog, layout, cache, reuse, walker)
     report = MissReport("EstimateMisses", cache)
     with obs.span("cme/estimate"):
-        for ref in targets:
-            report.results[ref.uid] = estimate_ref_misses(
-                classifier, nprog, ref, confidence, width, seed
-            )
+        if memo is not None:
+            plan = memo.session(
+                "estimate", nprog, layout, cache, reuse, confidence, width, seed
+            ).plan(targets)
+            for ref in plan.solve:
+                result = estimate_ref_misses(
+                    classifier, nprog, ref, confidence, width, seed
+                )
+                report.results[ref.uid] = result
+                plan.add(ref, result)
+            report.results = plan.finish(report.results)
+        else:
+            for ref in targets:
+                report.results[ref.uid] = estimate_ref_misses(
+                    classifier, nprog, ref, confidence, width, seed
+                )
     report.elapsed_seconds = time.perf_counter() - started
     report.solver_seconds = report.elapsed_seconds
     if obs.is_enabled():

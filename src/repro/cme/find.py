@@ -15,7 +15,7 @@ processes and calls the very same function.
 from __future__ import annotations
 
 import time
-from typing import Iterable, Optional
+from typing import Iterable, Optional, TYPE_CHECKING
 
 from repro import obs
 from repro.layout.cache import CacheConfig
@@ -25,6 +25,9 @@ from repro.iteration.walker import Walker
 from repro.reuse.generator import ReuseOptions, ReuseTable, build_reuse_table
 from repro.cme.point import PointClassifier, Outcome
 from repro.cme.result import MissReport, RefResult
+
+if TYPE_CHECKING:  # repro.memo imports repro.cme.result — keep this lazy
+    from repro.memo import Memoizer
 
 
 def record_ref_metrics(result: RefResult, classifier: PointClassifier) -> None:
@@ -74,13 +77,18 @@ def find_misses(
     refs: Optional[Iterable[NRef]] = None,
     reuse_options: Optional[ReuseOptions] = None,
     jobs: int = 1,
+    memo: Optional["Memoizer"] = None,
 ) -> MissReport:
     """Classify every iteration point of every reference.
 
     Parameters mirror :func:`~repro.cme.estimate.estimate_misses`; ``refs``
     restricts the analysis to a subset of references (useful in tests) and
     ``jobs > 1`` shards the references across a process pool — the report is
-    guaranteed identical to the serial one.
+    guaranteed identical to the serial one.  ``memo`` enables
+    content-addressed memoization (:mod:`repro.memo`): references whose
+    equation system was already classified — earlier in this call, in this
+    process, or in a previous run via a persistent store — replay the
+    stored tallies instead of being re-solved.
     """
     started = time.perf_counter()
     if reuse is None:
@@ -90,13 +98,25 @@ def find_misses(
         from repro.parallel import solve_parallel
 
         return solve_parallel(
-            "find", nprog, layout, cache, reuse, jobs, refs=targets
+            "find", nprog, layout, cache, reuse, jobs, refs=targets, memo=memo
         )
     classifier = PointClassifier(nprog, layout, cache, reuse, walker)
     report = MissReport("FindMisses", cache)
     with obs.span("cme/find"):
-        for ref in targets:
-            report.results[ref.uid] = find_ref_misses(classifier, nprog, ref)
+        if memo is not None:
+            plan = memo.session("find", nprog, layout, cache, reuse).plan(
+                targets
+            )
+            for ref in plan.solve:
+                result = find_ref_misses(classifier, nprog, ref)
+                report.results[ref.uid] = result
+                plan.add(ref, result)
+            report.results = plan.finish(report.results)
+        else:
+            for ref in targets:
+                report.results[ref.uid] = find_ref_misses(
+                    classifier, nprog, ref
+                )
     report.elapsed_seconds = time.perf_counter() - started
     report.solver_seconds = report.elapsed_seconds
     if obs.is_enabled():

@@ -92,6 +92,25 @@ class MemoryLayout:
     def __contains__(self, array: Array) -> bool:
         return array.storage().name in self._bases
 
+    def signature(self) -> tuple:
+        """Canonical content signature: sorted ``(name, base)`` pairs.
+
+        Placement *addresses* are the only thing downstream analyses read
+        (set mapping, line equality), so two layouts that assign the same
+        bases are interchangeable even if built in a different placement
+        order.  Sorting by name makes the signature order-independent and
+        hashable — memo keys and caches rely on this.
+        """
+        return tuple(sorted(self._bases.items()))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, MemoryLayout):
+            return NotImplemented
+        return self._bases == other._bases
+
+    def __hash__(self) -> int:
+        return hash(self.signature())
+
     def __repr__(self) -> str:
         rows = ", ".join(f"{a.name}@{self._bases[a.name]}" for a in self._arrays)
         return f"MemoryLayout({rows})"

@@ -1,0 +1,121 @@
+"""Persistent JSON-lines store for memoized per-reference CME solutions.
+
+On-disk format (``<cache-dir>/cme-memo.jsonl``)::
+
+    {"schema": "repro.memo/v1", "fingerprint": "<sha256 of solver sources>"}
+    {"k": "<hex key>", "p": [population, analysed, cold, replacement, hits]}
+    {"k": "...", "p": [...]}
+
+The first line is the header.  A missing, unparsable or mismatched header
+(wrong schema version *or* wrong code fingerprint) marks the whole file
+stale: :meth:`MemoStore.load` returns no entries, bumps the
+``memo.store.invalid`` counter, and the next :meth:`MemoStore.append`
+rewrites the file from scratch under the current header.  Individually
+corrupt lines (truncation, bad JSON, malformed payloads) are skipped with
+the same counter bump — a damaged store degrades to a cold run, never to a
+crash or a wrong result.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Mapping, Optional, Sequence
+
+from repro import obs
+from repro.memo.key import code_fingerprint
+
+#: On-disk schema version; bump on any change to the file format.
+STORE_SCHEMA = "repro.memo/v1"
+
+#: File name used inside a ``--cache-dir`` directory.
+STORE_FILENAME = "cme-memo.jsonl"
+
+
+def _valid_payload(payload) -> bool:
+    """True for a well-formed ``[population, analysed, cold, repl, hits]``."""
+    if not isinstance(payload, list) or len(payload) != 5:
+        return False
+    if not all(isinstance(n, int) and n >= 0 for n in payload):
+        return False
+    return payload[1] == payload[2] + payload[3] + payload[4]
+
+
+class MemoStore:
+    """One JSON-lines solution store bound to a path and a fingerprint."""
+
+    def __init__(self, path: str, fingerprint: Optional[str] = None):
+        self.path = path
+        self.fingerprint = fingerprint or code_fingerprint()
+        self._stale = False  # set by load(); forces a full rewrite on append
+
+    @classmethod
+    def at(cls, cache_dir: str) -> "MemoStore":
+        """The store inside ``cache_dir`` (created if missing)."""
+        os.makedirs(cache_dir, exist_ok=True)
+        return cls(os.path.join(cache_dir, STORE_FILENAME))
+
+    def _header(self) -> str:
+        return json.dumps(
+            {"schema": STORE_SCHEMA, "fingerprint": self.fingerprint},
+            separators=(",", ":"),
+        )
+
+    def load(self) -> dict:
+        """Read every valid entry, keyed by hex key.
+
+        Never raises on a damaged file: a bad header invalidates the whole
+        store, bad lines are skipped, and each problem bumps
+        ``memo.store.invalid``.
+        """
+        entries: dict[str, list] = {}
+        try:
+            fh = open(self.path, "r", encoding="utf-8")
+        except OSError:
+            return entries
+        with fh:
+            header_line = fh.readline()
+            try:
+                header = json.loads(header_line)
+                ok = (
+                    isinstance(header, dict)
+                    and header.get("schema") == STORE_SCHEMA
+                    and header.get("fingerprint") == self.fingerprint
+                )
+            except ValueError:
+                ok = False
+            if not ok:
+                self._stale = True
+                obs.counter("memo.store.invalid").inc()
+                return entries
+            for line in fh:
+                try:
+                    entry = json.loads(line)
+                    key = entry["k"]
+                    payload = entry["p"]
+                    if not isinstance(key, str) or not _valid_payload(payload):
+                        raise ValueError(line)
+                except (ValueError, KeyError, TypeError):
+                    obs.counter("memo.store.invalid").inc()
+                    continue
+                entries[key] = payload
+        obs.counter("memo.store.loaded").inc(len(entries))
+        return entries
+
+    def append(self, entries: Mapping[str, Sequence[int]]) -> None:
+        """Persist ``entries``; rewrites the file when missing or stale."""
+        fresh = self._stale or not os.path.exists(self.path)
+        if not entries and not fresh:
+            return
+        with open(self.path, "w" if fresh else "a", encoding="utf-8") as fh:
+            if fresh:
+                fh.write(self._header() + "\n")
+                self._stale = False
+            for key, payload in entries.items():
+                fh.write(
+                    json.dumps(
+                        {"k": key, "p": list(payload)}, separators=(",", ":")
+                    )
+                    + "\n"
+                )
+        obs.counter("memo.store.appended").inc(len(entries))

@@ -12,11 +12,14 @@ model and returns the ranked outcomes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Optional, Sequence, Union
+from typing import Mapping, Optional, Sequence, TYPE_CHECKING, Union
 
 from repro.analysis import analyze, prepare
 from repro.ir.nodes import Program
 from repro.layout.cache import CacheConfig
+
+if TYPE_CHECKING:
+    from repro.memo import Memoizer
 
 
 @dataclass(frozen=True)
@@ -40,10 +43,16 @@ def evaluate_padding(
     pad_bytes: Union[int, Mapping[str, int]],
     method: str = "estimate",
     seed: int = 0,
+    memo: Optional["Memoizer"] = None,
 ) -> PaddingChoice:
-    """Score one padding configuration analytically."""
+    """Score one padding configuration analytically.
+
+    ``memo`` makes sweeps near-free after the first configurations: pads
+    that leave the relevant base-address relationships unchanged replay
+    memoized solutions instead of re-solving.
+    """
     prepared = prepare(program, align=cache.line_bytes, pad_bytes=pad_bytes)
-    report = analyze(prepared, cache, method=method, seed=seed)
+    report = analyze(prepared, cache, method=method, seed=seed, memo=memo)
     key = (
         pad_bytes
         if isinstance(pad_bytes, int)
@@ -59,17 +68,21 @@ def search_padding(
     array: Optional[str] = None,
     method: str = "estimate",
     seed: int = 0,
+    memo: Optional["Memoizer"] = None,
 ) -> list[PaddingChoice]:
     """Evaluate candidate pads and return choices sorted best first.
 
     ``array`` restricts the pad to one array (others stay unpadded);
-    ``None`` applies the same pad after every array.
+    ``None`` applies the same pad after every array.  ``memo`` is shared
+    across all candidates, so equivalent layouts are only solved once.
     """
     results = []
     for pad in candidates:
         spec: Union[int, dict[str, int]] = pad if array is None else {array: pad}
         results.append(
-            evaluate_padding(program, cache, spec, method=method, seed=seed)
+            evaluate_padding(
+                program, cache, spec, method=method, seed=seed, memo=memo
+            )
         )
     results.sort(key=lambda c: c.miss_ratio_percent)
     return results

@@ -11,11 +11,14 @@ property that makes analytical models usable inside a compiler.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence, TYPE_CHECKING
 
 from repro.analysis import analyze, prepare
 from repro.ir.nodes import Program
 from repro.layout.cache import CacheConfig
+
+if TYPE_CHECKING:
+    from repro.memo import Memoizer
 
 
 @dataclass(frozen=True)
@@ -33,15 +36,18 @@ def search_tiles(
     cache: CacheConfig,
     method: str = "estimate",
     seed: int = 0,
+    memo: Optional["Memoizer"] = None,
 ) -> list[TileChoice]:
     """Score each candidate tile (builder is called as ``builder(*tile)``).
 
     Returns the choices sorted best (lowest predicted miss ratio) first.
+    ``memo`` is shared across candidates (and, with a persistent store,
+    across whole sweeps), so repeated equation systems are solved once.
     """
     results = []
     for tile in candidates:
         prepared = prepare(builder(*tile))
-        report = analyze(prepared, cache, method=method, seed=seed)
+        report = analyze(prepared, cache, method=method, seed=seed, memo=memo)
         results.append(
             TileChoice(tuple(tile), report.miss_ratio_percent,
                        report.elapsed_seconds)
@@ -56,6 +62,9 @@ def best_tile(
     cache: CacheConfig,
     method: str = "estimate",
     seed: int = 0,
+    memo: Optional["Memoizer"] = None,
 ) -> TileChoice:
     """The single best candidate tile under the analytical model."""
-    return search_tiles(builder, candidates, cache, method=method, seed=seed)[0]
+    return search_tiles(
+        builder, candidates, cache, method=method, seed=seed, memo=memo
+    )[0]

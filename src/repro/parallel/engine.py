@@ -37,7 +37,7 @@ import os
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional, Sequence, TYPE_CHECKING
 
 from repro import obs
 from repro.layout.cache import CacheConfig
@@ -46,6 +46,9 @@ from repro.normalize.nprogram import NormalizedProgram, NRef
 from repro.reuse.generator import ReuseTable
 from repro.cme.point import PointClassifier
 from repro.cme.result import MissReport, RefResult
+
+if TYPE_CHECKING:  # repro.memo imports repro.cme.result — keep this lazy
+    from repro.memo import Memoizer
 
 #: Chunks dealt per worker; >1 smooths out skewed per-reference volumes.
 CHUNKS_PER_JOB = 4
@@ -155,8 +158,13 @@ class ParallelEngine:
         cache: CacheConfig,
         reuse: ReuseTable,
         jobs: Optional[int] = None,
+        memo: Optional["Memoizer"] = None,
     ):
         self.nprog = nprog
+        self.layout = layout
+        self.cache = cache
+        self.reuse = reuse
+        self.memo = memo
         self.jobs = resolve_jobs(jobs)
         self._payload = pickle.dumps(
             (nprog, layout, cache, reuse), protocol=pickle.HIGHEST_PROTOCOL
@@ -213,13 +221,32 @@ class ParallelEngine:
     ) -> MissReport:
         started = time.perf_counter()
         targets = list(refs) if refs is not None else list(self.nprog.refs)
+        # Memo planning happens in the parent, against its preloaded store
+        # snapshot, *before* sharding: only one representative per distinct
+        # equation system is dispatched; workers never touch the store.  The
+        # identical planning code runs in the serial solvers, so ``memo.*``
+        # counters match across any ``jobs`` value.
+        plan = None
+        if self.memo is not None:
+            plan = self.memo.session(
+                method,
+                self.nprog,
+                self.layout,
+                self.cache,
+                self.reuse,
+                confidence,
+                width,
+                seed,
+            ).plan(targets)
+            targets = plan.solve
         uids = [ref.uid for ref in targets]
         name = "FindMisses" if method == "find" else "EstimateMisses"
-        cache = pickle.loads(self._payload)[2]
-        report = MissReport(name, cache, jobs=self.jobs)
+        report = MissReport(name, self.cache, jobs=self.jobs)
         obs.gauge("parallel.jobs").set(self.jobs)
         with obs.span("parallel/solve"):
-            if self.jobs <= 1 or len(uids) <= 1:
+            if not uids:
+                by_uid: dict[int, RefResult] = {}
+            elif self.jobs <= 1 or len(uids) <= 1:
                 # Serial path through the identical chunk code (no pool).
                 # ``ship_obs=False``: this process's live instruments record
                 # directly, so nothing must be snapshot/reset here.
@@ -257,6 +284,10 @@ class ParallelEngine:
             # Reassemble in the caller's reference order: identical to serial.
             for uid in uids:
                 report.results[uid] = by_uid[uid]
+            if plan is not None:
+                for ref in plan.solve:
+                    plan.add(ref, by_uid[ref.uid])
+                report.results = plan.finish(report.results)
         report.elapsed_seconds = time.perf_counter() - started
         if obs.is_enabled():
             report.metrics = obs.snapshot()
@@ -274,6 +305,7 @@ def solve_parallel(
     confidence: float = 0.95,
     width: float = 0.05,
     seed: int = 0,
+    memo: Optional["Memoizer"] = None,
 ) -> MissReport:
     """One-shot parallel solve (ephemeral :class:`ParallelEngine`).
 
@@ -282,7 +314,7 @@ def solve_parallel(
     """
     if method not in ("find", "estimate"):
         raise ValueError(f"unknown method {method!r}; use 'find' or 'estimate'")
-    with ParallelEngine(nprog, layout, cache, reuse, jobs) as engine:
+    with ParallelEngine(nprog, layout, cache, reuse, jobs, memo) as engine:
         if method == "find":
             return engine.find(refs)
         return engine.estimate(refs, confidence, width, seed)

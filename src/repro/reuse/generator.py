@@ -24,7 +24,7 @@ benchmarks.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 from repro import obs
 from repro.normalize.nprogram import NormalizedProgram, NRef
@@ -43,6 +43,18 @@ class ReuseOptions:
     cross_column: bool = True  # spatial solutions supported on two dimensions
     null_combo_bound: int = 2  # lattice coefficients searched in [-b, b]
     max_null_dims: int = 3  # cap on enumerated null-space dimensions
+
+    def signature(self) -> tuple:
+        """Canonical ``(field, value)`` pairs in field-name order.
+
+        Stable across field *declaration* reordering (unlike the frozen
+        dataclass's positional hash), so serialized caches keyed on option
+        signatures survive refactors that merely reorder fields.
+        """
+        return tuple(
+            (f.name, getattr(self, f.name))
+            for f in sorted(fields(self), key=lambda f: f.name)
+        )
 
 
 class ReuseTable:

@@ -112,8 +112,13 @@ def _gen_scan(rng: random.Random, pb: ProgramBuilder) -> bool:
 def _gen_internest(rng: random.Random, pb: ProgramBuilder) -> bool:
     """Whole-program reuse across separate nests (the paper's pitch)."""
     n = rng.randrange(48, 97)
-    a = pb.array("A", (n,))
-    b = pb.array("B", (n,))
+    # Pad the allocation to an 8-element (= 64B, the largest line) multiple:
+    # if distinct arrays shared a memory line, the tail of A would feed
+    # cross-array group reuse that no uniformly generated set covers, and
+    # the family's exactness claim would not hold.
+    size = -(-n // 8) * 8
+    a = pb.array("A", (size,))
+    b = pb.array("B", (size,))
     with pb.subroutine("MAIN"):
         with pb.do("I", 1, n) as i:
             pb.assign(a[i])
@@ -180,6 +185,28 @@ def _gen_guarded(rng: random.Random, pb: ProgramBuilder) -> bool:
     return False
 
 
+def _gen_guarded_multinest(rng: random.Random, pb: ProgramBuilder) -> bool:
+    """IF-guarded statements with reuse *across* nests: the guards make the
+    interference non-convex (conservative) while the split into separate
+    nests exercises cross-nest reuse vectors and multi-root interference
+    spans at the same time."""
+    n = rng.randrange(10, 17)
+    cut = rng.randrange(2, n)
+    a = pb.array("A", (n + 2, n + 2))
+    b = pb.array("B", (n + 2, n + 2))
+    with pb.subroutine("MAIN"):
+        with pb.do("J", 1, n) as j:
+            with pb.do("I", 1, n) as i:
+                with pb.if_(i.le(cut)):
+                    pb.assign(a[i, j])
+                pb.assign(b[i, j])
+        with pb.do("J", 1, n) as j:
+            with pb.do("I", 1, n) as i:
+                with pb.if_(i.ge(cut)):
+                    pb.read(a[i, j], b[i, j])
+    return False
+
+
 FAMILIES = [
     ("scan", _gen_scan),
     ("internest", _gen_internest),
@@ -187,6 +214,7 @@ FAMILIES = [
     ("tri", _gen_triangular),
     ("randstencil", _gen_random_stencil),
     ("guarded", _gen_guarded),
+    ("guardednests", _gen_guarded_multinest),
 ]
 
 

@@ -1,0 +1,219 @@
+"""Property tests for the canonical memo key (ISSUE 3 satellite).
+
+The contract under test: keys are invariant under loop-variable renaming,
+reordering of independent nests, frontend round-trips and whole-layout
+translations by cache-extent multiples — and sensitive to every solver
+input: cache size, line size, associativity, padding, IF guards and the
+``EstimateMisses`` sampling parameters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CacheConfig, MemoryLayout, ProgramBuilder, prepare
+from repro.frontend import parse_program
+from repro.layout.memory import layout_for_refs
+from repro.memo import KeyBuilder
+from repro.reuse.generator import ReuseOptions
+
+CACHE = CacheConfig.kb(4, 32, assoc=2)
+
+
+def builder_for(prepared, cache=CACHE) -> KeyBuilder:
+    reuse = prepared.reuse_table(cache.line_bytes)
+    return KeyBuilder(prepared.nprog, prepared.layout, cache, reuse)
+
+
+def keys_of(program, cache=CACHE, method="find", params=()) -> list[str]:
+    """The per-reference keys in construction (uid) order."""
+    prepared = prepare(program)
+    kb = builder_for(prepared, cache)
+    return [kb.key(ref, method, params) for ref in prepared.nprog.refs]
+
+
+def two_nest_program(name, i_var, j_var, n=20):
+    """Two cross-reusing nests; loop-variable names are parameters."""
+    pb = ProgramBuilder(name)
+    a = pb.array("A", (n, n))
+    b = pb.array("B", (n, n))
+    with pb.subroutine("MAIN"):
+        with pb.do(j_var, 1, n) as j:
+            with pb.do(i_var, 1, n) as i:
+                pb.assign(a[i, j], b[i, j])
+        with pb.do(j_var, 1, n) as j:
+            with pb.do(i_var, 1, n) as i:
+                pb.read(a[i, j])
+    return pb.build()
+
+
+class TestInvariance:
+    def test_loop_variable_renaming_preserves_keys(self):
+        base = keys_of(two_nest_program("P", "I", "J"))
+        renamed = keys_of(two_nest_program("P", "II", "KK"))
+        assert base == renamed
+
+    def test_independent_nest_reordering_preserves_keys(self):
+        def program(order):
+            pb = ProgramBuilder("P")
+            # Declaration order is pinned, so both variants place A then B
+            # at identical bases; only the nest order differs.
+            a = pb.array("A", (24, 24))
+            b = pb.array("B", (24, 24))
+            nests = {
+                "a": lambda: pb.assign(a[pb_i, pb_j], a[pb_i - 1, pb_j]),
+                "b": lambda: pb.read(b[pb_i, pb_j]),
+            }
+            with pb.subroutine("MAIN"):
+                for which in order:
+                    with pb.do("J", 1, 24) as pb_j:
+                        with pb.do("I", 2, 24) as pb_i:
+                            nests[which]()
+            return pb.build()
+
+        first = prepare(program("ab"))
+        second = prepare(program("ba"))
+        assert first.layout == second.layout  # precondition: same placement
+        kb1, kb2 = builder_for(first), builder_for(second)
+        by_array_1 = {r.array.name: kb1.key(r, "find") for r in first.nprog.refs}
+        by_array_2 = {r.array.name: kb2.key(r, "find") for r in second.nprog.refs}
+        assert by_array_1 == by_array_2
+
+    def test_frontend_round_trip_preserves_keys(self):
+        n = 16
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (n, n))
+        with pb.subroutine("MAIN"):
+            with pb.do("J", 1, n) as j:
+                with pb.do("I", 1, n) as i:
+                    pb.assign(a[i, j], a[i, j])
+        built = pb.build()
+        parsed = parse_program(
+            f"""
+      PROGRAM P
+      DIMENSION A({n},{n})
+      DO J = 1, {n}
+        DO I = 1, {n}
+          A(I,J) = A(I,J)
+        ENDDO
+      ENDDO
+      END
+"""
+        )
+        assert keys_of(built) == keys_of(parsed)
+
+    def test_whole_layout_translation_by_cache_extent_preserves_keys(self):
+        prog = two_nest_program("P", "I", "J")
+        prepared = prepare(prog)
+        reuse = prepared.reuse_table(CACHE.line_bytes)
+        extent = CACHE.num_sets * CACHE.line_bytes
+        shifted = layout_for_refs(
+            prepared.nprog.refs,
+            base=extent,  # translate everything by one cache extent
+            align=32,
+            declared_order=list(prog.all_arrays()),
+        )
+        kb0 = KeyBuilder(prepared.nprog, prepared.layout, CACHE, reuse)
+        kb1 = KeyBuilder(prepared.nprog, shifted, CACHE, reuse)
+        for ref in prepared.nprog.refs:
+            assert kb0.key(ref, "find") == kb1.key(ref, "find")
+
+    def test_sub_extent_translation_changes_keys(self):
+        # A shift that is NOT a multiple of the cache extent changes set
+        # mappings, so it must change keys.
+        prog = two_nest_program("P", "I", "J")
+        prepared = prepare(prog)
+        reuse = prepared.reuse_table(CACHE.line_bytes)
+        shifted = layout_for_refs(
+            prepared.nprog.refs,
+            base=CACHE.line_bytes,
+            align=32,
+            declared_order=list(prog.all_arrays()),
+        )
+        kb0 = KeyBuilder(prepared.nprog, prepared.layout, CACHE, reuse)
+        kb1 = KeyBuilder(prepared.nprog, shifted, CACHE, reuse)
+        ref = prepared.nprog.refs[0]
+        assert kb0.key(ref, "find") != kb1.key(ref, "find")
+
+
+class TestSensitivity:
+    def guarded_program(self, bound):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (24, 24))
+        with pb.subroutine("MAIN"):
+            with pb.do("J", 1, 24) as j:
+                with pb.do("I", 1, 24) as i:
+                    with pb.if_(i.le(bound)):
+                        pb.assign(a[i, j])
+        return pb.build()
+
+    @pytest.mark.parametrize(
+        "other",
+        [
+            CacheConfig.kb(8, 32, assoc=2),  # size
+            CacheConfig.kb(4, 64, assoc=2),  # line
+            CacheConfig.kb(4, 32, assoc=1),  # associativity
+        ],
+    )
+    def test_cache_geometry_changes_keys(self, other):
+        prog = two_nest_program("P", "I", "J")
+        assert keys_of(prog, CACHE) != keys_of(prog, other)
+
+    def test_padding_changes_keys(self):
+        prog = two_nest_program("P", "I", "J")
+        plain = prepare(prog)
+        padded = prepare(prog, pad_bytes=64)
+        kb0, kb1 = builder_for(plain), builder_for(padded)
+        keys0 = [kb0.key(r, "find") for r in plain.nprog.refs]
+        keys1 = [kb1.key(r, "find") for r in padded.nprog.refs]
+        assert keys0 != keys1
+
+    def test_if_guard_changes_keys(self):
+        assert keys_of(self.guarded_program(8)) != keys_of(
+            self.guarded_program(9)
+        )
+
+    def test_method_and_sampling_params_change_keys(self):
+        prog = two_nest_program("P", "I", "J")
+        find = keys_of(prog, method="find")
+        est_a = keys_of(prog, method="estimate", params=(0.95, 0.05, 7))
+        est_b = keys_of(prog, method="estimate", params=(0.95, 0.05, 8))
+        est_c = keys_of(prog, method="estimate", params=(0.90, 0.05, 7))
+        assert len({tuple(find), tuple(est_a), tuple(est_b), tuple(est_c)}) == 4
+
+
+class TestCanonicalSignatures:
+    """Satellite small-fix: stable hash/serialization for key inputs."""
+
+    def test_memory_layout_signature_is_order_independent(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (8,))
+        b = pb.array("B", (8,))
+        la = MemoryLayout([a, b], align=8)
+        lb = MemoryLayout([b, a], base=0, align=8)
+        assert la.signature() == tuple(sorted(la.signature()))
+        assert la != lb  # different bases -> unequal
+        lc = MemoryLayout([a, b], align=8)
+        assert la == lc and hash(la) == hash(lc)
+        assert la.signature() == lc.signature()
+
+    def test_memory_layout_hashable_in_sets(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (8,))
+        layouts = {MemoryLayout([a]), MemoryLayout([a]), MemoryLayout([a], base=128)}
+        assert len(layouts) == 2
+
+    def test_reuse_options_signature_sorted_by_field_name(self):
+        sig = ReuseOptions().signature()
+        names = [name for name, _ in sig]
+        assert names == sorted(names)
+        assert dict(sig) == {
+            "temporal": True,
+            "spatial": True,
+            "cross_column": True,
+            "null_combo_bound": 2,
+            "max_null_dims": 3,
+        }
+
+    def test_reuse_options_signature_distinguishes_values(self):
+        assert ReuseOptions().signature() != ReuseOptions(spatial=False).signature()

@@ -1,0 +1,102 @@
+"""Differential fuzz sweep for memoization (ISSUE 3 satellite).
+
+Over 200+ seeded random programs (all harness families, including the
+IF-guarded and multi-nest ones), memoized ``FindMisses`` must equal the
+unmemoized solver report-for-report — and stay exact vs. the simulator for
+exact families, conservative otherwise.  One :class:`Memoizer` is shared
+across *all* cases, so any key collision between different programs,
+layouts or geometries would surface as a wrong replay here.
+
+Memoized ``EstimateMisses`` must be bit-identical to the unmemoized run at
+a fixed seed, and a persisted warm round must replay without solving.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Memoizer
+from repro.cme import estimate_misses, find_misses
+from repro.sim import simulate
+from tests.harness.differential import FAMILIES, generate_cases
+
+#: 30 cases per family — 210 total, satisfying the >= 200 requirement.
+CASE_COUNT = 30 * len(FAMILIES)
+
+_cases = None
+
+
+def all_cases():
+    global _cases
+    if _cases is None:
+        _cases = generate_cases(CASE_COUNT)
+    return _cases
+
+
+def test_case_pool_is_large_and_diverse():
+    cases = all_cases()
+    assert len(cases) >= 200
+    families = {c.name.split("-")[0] for c in cases}
+    assert families == {name for name, _ in FAMILIES}
+
+
+def test_memoized_find_matches_unmemoized_and_simulator():
+    memo = Memoizer()  # shared across every case: collisions would misfire
+    failures = []
+    for case in all_cases():
+        nprog, layout = case.prepared()
+        base = find_misses(nprog, layout, case.cache)
+        memoized = find_misses(nprog, layout, case.cache, memo=memo)
+        if memoized != base:
+            failures.append(f"{case.name}: memoized != unmemoized FindMisses")
+            continue
+        ground = simulate(nprog, layout, case.cache)
+        for ref in nprog.refs:
+            a = memoized.result_for(ref).misses
+            s = ground.misses[ref.uid]
+            if case.exact and a != s:
+                failures.append(
+                    f"{case.name}: {ref.name()} expected exactly {s} misses, "
+                    f"memoized FindMisses reported {a}"
+                )
+            elif a < s:
+                failures.append(
+                    f"{case.name}: {ref.name()} under-estimated "
+                    f"({a} analytical < {s} simulated)"
+                )
+    assert not failures, "\n".join(failures[:20])
+    assert memo.misses > 0 and memo.groups == memo.misses
+
+
+def test_memoized_estimate_bit_identical_at_fixed_seed():
+    memo = Memoizer()
+    failures = []
+    # Every third case keeps the sampling leg fast while still touching
+    # every family (210 / 3 = 70 cases, family stride 7 is coprime to 3).
+    for case in all_cases()[::3]:
+        nprog, layout = case.prepared()
+        base = estimate_misses(nprog, layout, case.cache, seed=20260806)
+        memoized = estimate_misses(
+            nprog, layout, case.cache, seed=20260806, memo=memo
+        )
+        if memoized != base:
+            failures.append(f"{case.name}: memoized != unmemoized estimate")
+    assert not failures, "\n".join(failures)
+
+
+@pytest.mark.parametrize("method", ["find", "estimate"])
+def test_persisted_warm_round_replays_subset(tmp_path, method):
+    def solve(case, memo):
+        nprog, layout = case.prepared()
+        if method == "find":
+            return find_misses(nprog, layout, case.cache, memo=memo)
+        return estimate_misses(nprog, layout, case.cache, seed=3, memo=memo)
+
+    subset = all_cases()[:: len(FAMILIES)][:8]  # one per family stride
+    with Memoizer.open(str(tmp_path)) as cold:
+        cold_reports = [solve(case, cold) for case in subset]
+    with Memoizer.open(str(tmp_path)) as warm:
+        warm_reports = [solve(case, warm) for case in subset]
+    assert warm_reports == cold_reports
+    assert warm.misses == 0
+    assert warm.hits == cold.hits + cold.misses
