@@ -5,6 +5,10 @@ paper's published rows next to our measured rows and writing the rendered
 table to ``benchmarks/results/<name>.txt`` (so the output survives pytest's
 stdout capture).  Problem sizes default to *scaled-down* values so the whole
 suite runs in minutes; the paper's sizes are noted in each module.
+
+Machine-readable summaries (:func:`emit_json`) are additionally mirrored to
+top-level ``BENCH_<name>.json`` files at the repository root — the perf
+trajectory successive PRs diff against.
 """
 
 from __future__ import annotations
@@ -14,6 +18,8 @@ import os
 from typing import Callable
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def once(benchmark, fn: Callable):
@@ -33,11 +39,18 @@ def emit(name: str, text: str) -> str:
 
 def emit_json(name: str, document: dict) -> str:
     """Persist a machine-readable document (the ``BENCH_*.json`` trajectory
-    files future PRs diff against) under ``benchmarks/results``."""
+    files future PRs diff against) under ``benchmarks/results``, mirrored
+    to ``BENCH_<name>.json`` at the repository root."""
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.json")
+    text = json.dumps(document, indent=2, sort_keys=True) + "\n"
     with open(path, "w") as fh:
-        json.dump(document, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print(f"\n[{name}] written to {path}")
+        fh.write(text)
+    # Strip any existing BENCH_ prefix so emit_json("BENCH_pipeline", ...)
+    # mirrors to BENCH_pipeline.json, not BENCH_BENCH_pipeline.json.
+    stem = name[len("BENCH_"):] if name.startswith("BENCH_") else name
+    mirror = os.path.join(REPO_ROOT, f"BENCH_{stem}.json")
+    with open(mirror, "w") as fh:
+        fh.write(text)
+    print(f"\n[{name}] written to {path} (mirrored to {mirror})")
     return path

@@ -1,0 +1,109 @@
+"""Backend speedup: vectorized NumPy batch classification vs pure Python.
+
+The paper's pitch is analytical speed; PR 5 adds a NumPy backend that
+evaluates the cold/replacement equations over whole point batches and
+answers replacement windows from a lex-sorted trace index.  This benchmark
+times exhaustive ``FindMisses`` on the Table 3 kernels under both backends,
+asserts the reports are **bit-identical**, and requires the vectorized
+backend to be at least ``MIN_SPEEDUP``× faster on every kernel.
+
+The machine-readable summary lands in ``BENCH_backend.json`` at the repo
+root (via the ``emit_json`` mirror) — the perf trajectory later PRs diff
+against.
+"""
+
+import sys
+import time
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import emit, emit_json, once
+
+from repro import CacheConfig, analyze, prepare
+from repro.report import format_table
+
+from repro.kernels import build_hydro, build_mgrid, build_mmt
+
+#: Table 3 kernels at scaled sizes (same spirit as bench_table3_findmisses;
+#: MGRID slightly larger so the scalar baseline dominates fixed overheads).
+KERNELS = [
+    ("Hydro", lambda: build_hydro(32, 32)),
+    ("MGRID", lambda: build_mgrid(16)),
+    ("MMT", lambda: build_mmt(24, 24, 12)),
+]
+
+CACHE = CacheConfig.kb(4, 32, 2)
+
+#: Acceptance floor for the FindMisses speedup on every Table 3 kernel.
+MIN_SPEEDUP = 10.0
+
+
+def _timed_find(prepared, backend: str):
+    started = time.perf_counter()
+    report = analyze(prepared, CACHE, method="find", backend=backend)
+    return report, time.perf_counter() - started
+
+
+def compute_rows():
+    # Warm NumPy's import machinery so the first timed run is not charged.
+    analyze(prepare(build_mgrid(6)), CACHE, method="find", backend="numpy")
+    rows = []
+    for name, builder in KERNELS:
+        prepared = prepare(builder())
+        scalar_report, scalar_t = _timed_find(prepared, "scalar")
+        numpy_report, numpy_t = _timed_find(prepared, "numpy")
+        assert numpy_report == scalar_report, (
+            f"{name}: numpy backend diverged from scalar"
+        )
+        speedup = scalar_t / numpy_t if numpy_t > 0 else float("inf")
+        rows.append(
+            {
+                "kernel": name,
+                "points": scalar_report.analysed_points,
+                "miss_ratio_percent": scalar_report.miss_ratio_percent,
+                "scalar_seconds": round(scalar_t, 4),
+                "numpy_seconds": round(numpy_t, 4),
+                "speedup": round(speedup, 2),
+                "identical": True,
+            }
+        )
+    return rows
+
+
+def test_backend_speedup(benchmark):
+    rows = once(benchmark, compute_rows)
+    emit(
+        "backend_speedup",
+        format_table(
+            ["Kernel", "Points", "Miss %", "Scalar t(s)", "NumPy t(s)", "Speedup"],
+            [
+                (
+                    r["kernel"],
+                    r["points"],
+                    f"{r['miss_ratio_percent']:.2f}",
+                    f"{r['scalar_seconds']:.2f}",
+                    f"{r['numpy_seconds']:.3f}",
+                    f"{r['speedup']:.1f}x",
+                )
+                for r in rows
+            ],
+            title=(
+                f"FindMisses backend speedup — Table 3 kernels on "
+                f"{CACHE.describe()} (bit-identical reports)"
+            ),
+        ),
+    )
+    emit_json(
+        "backend",
+        {
+            "bench": "backend_speedup",
+            "cache": CACHE.describe(),
+            "method": "find",
+            "min_speedup_required": MIN_SPEEDUP,
+            "kernels": rows,
+        },
+    )
+    for r in rows:
+        assert r["speedup"] >= MIN_SPEEDUP, (
+            f"{r['kernel']}: numpy backend only {r['speedup']:.1f}x faster "
+            f"(required >= {MIN_SPEEDUP:.0f}x)"
+        )

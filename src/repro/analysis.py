@@ -123,6 +123,7 @@ def analyze(
     reuse_options: Optional[ReuseOptions] = None,
     jobs: int = 1,
     memo: Optional["Memoizer"] = None,
+    backend: Optional[str] = None,
 ) -> MissReport:
     """Predict the cache behaviour analytically.
 
@@ -134,6 +135,10 @@ def analyze(
     for every job count.  ``memo`` (a :class:`repro.memo.Memoizer`) enables
     content-addressed memoization of per-reference solutions — in-run
     dedup, and cross-run persistence when the memoizer carries a store.
+    ``backend`` selects the classification backend — ``"numpy"``
+    (vectorized batch solving) or ``"scalar"`` (pure Python); ``None``
+    means NumPy when installed, scalar otherwise.  Reports are
+    bit-identical across backends, jobs and memoization.
     """
     prepared = _as_prepared(target)
     reuse = prepared.reuse_table(cache.line_bytes, reuse_options)
@@ -146,6 +151,7 @@ def analyze(
             walker=prepared.walker,
             jobs=jobs,
             memo=memo,
+            backend=backend,
         )
     if method == "estimate":
         return estimate_misses(
@@ -159,6 +165,7 @@ def analyze(
             seed=seed,
             jobs=jobs,
             memo=memo,
+            backend=backend,
         )
     raise ValueError(f"unknown method {method!r}; use 'find' or 'estimate'")
 

@@ -98,6 +98,17 @@ def _add_workload_args(sub: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend_arg(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--backend",
+        choices=["scalar", "numpy"],
+        default="numpy",
+        help="classification backend: 'numpy' = vectorized batch solving "
+        "(falls back to scalar when NumPy is not installed), 'scalar' = "
+        "pure Python; results are bit-identical either way",
+    )
+
+
 def _add_jobs_arg(sub: argparse.ArgumentParser) -> None:
     sub.add_argument(
         "--jobs",
@@ -238,6 +249,7 @@ def _cmd_analyze(args, program: Program, echo: Callable[[str], None]) -> int:
         seed=args.seed,
         jobs=args.jobs,
         memo=memo,
+        backend=args.backend,
     )
     _close_memoizer(memo)
     log.info(
@@ -291,7 +303,12 @@ def _cmd_compare(args, program: Program, echo: Callable[[str], None]) -> int:
     prepared = prepare(program)
     memo = _open_memoizer(args)
     analytic = analyze(
-        prepared, cache, method=args.method, jobs=args.jobs, memo=memo
+        prepared,
+        cache,
+        method=args.method,
+        jobs=args.jobs,
+        memo=memo,
+        backend=args.backend,
     )
     _close_memoizer(memo)
     simulated = run_simulation(prepared, cache)
@@ -367,6 +384,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     p_analyze.add_argument("--confidence", type=float, default=0.95)
     p_analyze.add_argument("--width", type=float, default=0.05)
     p_analyze.add_argument("--seed", type=int, default=0)
+    _add_backend_arg(p_analyze)
     _add_jobs_arg(p_analyze)
     _add_memo_args(p_analyze)
     _add_obs_args(p_analyze)
@@ -380,6 +398,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     p_cmp.add_argument(
         "--method", choices=["estimate", "find"], default="estimate"
     )
+    _add_backend_arg(p_cmp)
     _add_jobs_arg(p_cmp)
     _add_memo_args(p_cmp)
     _add_obs_args(p_cmp)

@@ -1,11 +1,18 @@
 """Cache Miss Equations: forming and solving (Section 4 of the paper)."""
 
+from repro.cme.backend import (
+    BACKENDS,
+    make_classifier,
+    numpy_available,
+    resolve_backend,
+)
 from repro.cme.point import Classification, Outcome, PointClassifier
 from repro.cme.result import MissReport, RefResult, compare_reports
 from repro.cme.find import find_misses, find_ref_misses
 from repro.cme.estimate import estimate_misses, estimate_ref_misses, ref_rng
 
 __all__ = [
+    "BACKENDS",
     "Classification",
     "Outcome",
     "PointClassifier",
@@ -16,5 +23,8 @@ __all__ = [
     "find_ref_misses",
     "estimate_misses",
     "estimate_ref_misses",
+    "make_classifier",
+    "numpy_available",
     "ref_rng",
+    "resolve_backend",
 ]

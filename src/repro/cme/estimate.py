@@ -33,6 +33,7 @@ from repro.normalize.nprogram import NormalizedProgram, NRef
 from repro.iteration.walker import Walker
 from repro.reuse.generator import ReuseOptions, ReuseTable, build_reuse_table
 from repro.stats.confidence import DEFAULT_FALLBACK, achievable, sample_size
+from repro.cme.backend import make_classifier
 from repro.cme.find import record_ref_metrics
 from repro.cme.point import PointClassifier, Outcome
 from repro.cme.result import MissReport, RefResult
@@ -75,16 +76,21 @@ def estimate_ref_misses(
         else:
             points = list(ris.enumerate_points())  # analyse all points
             obs.counter("cme.sampling.exhaustive").inc()
-        classify = classifier.classify
-        for point in points:
-            outcome = classify(ref, point).outcome
-            result.analysed += 1
-            if outcome is Outcome.COLD:
-                result.cold += 1
-            elif outcome is Outcome.REPLACEMENT:
-                result.replacement += 1
-            else:
-                result.hits += 1
+        tally = getattr(classifier, "tally_ref", None)
+        if tally is not None:  # batch backend: the whole sample in one call
+            tally(ref, result, points)
+        else:
+            classify = classifier.classify
+            for point in points:
+                outcome = classify(ref, point).outcome
+                result.analysed += 1
+                if outcome is Outcome.COLD:
+                    result.cold += 1
+                elif outcome is Outcome.REPLACEMENT:
+                    result.replacement += 1
+                else:
+                    result.hits += 1
+        result.check_invariants()
         record_ref_metrics(result, classifier)
     return result
 
@@ -103,6 +109,7 @@ def estimate_misses(
     seed: int = 0,
     jobs: int = 1,
     memo: Optional["Memoizer"] = None,
+    backend: Optional[str] = None,
 ) -> MissReport:
     """Estimate per-reference and whole-program miss ratios by sampling.
 
@@ -115,6 +122,9 @@ def estimate_misses(
     the per-reference seed ``seed ^ ref.uid``, so replays are bit-identical
     to the sampling runs that produced them (and two references never share
     a key within one run — in-run dedup only applies to ``find``).
+    ``backend`` selects the classification backend (``"scalar"``/
+    ``"numpy"``; ``None`` = NumPy when available); both backends draw the
+    same sample and produce bit-identical reports, so memo keys exclude it.
     """
     started = time.perf_counter()
     if rng is not None:
@@ -137,8 +147,9 @@ def estimate_misses(
             width=width,
             seed=seed,
             memo=memo,
+            backend=backend,
         )
-    classifier = PointClassifier(nprog, layout, cache, reuse, walker)
+    classifier = make_classifier(backend, nprog, layout, cache, reuse, walker)
     report = MissReport("EstimateMisses", cache)
     with obs.span("cme/estimate"):
         if memo is not None:

@@ -23,6 +23,7 @@ from repro.layout.memory import MemoryLayout
 from repro.normalize.nprogram import NormalizedProgram, NRef
 from repro.iteration.walker import Walker
 from repro.reuse.generator import ReuseOptions, ReuseTable, build_reuse_table
+from repro.cme.backend import make_classifier
 from repro.cme.point import PointClassifier, Outcome
 from repro.cme.result import MissReport, RefResult
 
@@ -45,6 +46,11 @@ def record_ref_metrics(result: RefResult, classifier: PointClassifier) -> None:
     obs.counter("cme.points.hit").inc(result.hits)
     obs.histogram("polyhedra.ris.volume").observe(result.population)
     obs.counter("cme.solver.vector_trials").inc(classifier.drain_vector_trials())
+    drain_backend = getattr(classifier, "drain_backend_counts", None)
+    if drain_backend is not None:  # batch backend only
+        vectorized, fallback = drain_backend()
+        obs.counter("cme.backend.vectorized_points").inc(vectorized)
+        obs.counter("cme.backend.fallback_points").inc(fallback)
 
 
 def find_ref_misses(
@@ -54,16 +60,21 @@ def find_ref_misses(
     with obs.span("cme/classify_ref"):
         ris = nprog.ris(ref.leaf)
         result = RefResult(ref.name(), ref.uid, population=ris.count())
-        classify = classifier.classify
-        for point in ris.enumerate_points():
-            outcome = classify(ref, point).outcome
-            result.analysed += 1
-            if outcome is Outcome.COLD:
-                result.cold += 1
-            elif outcome is Outcome.REPLACEMENT:
-                result.replacement += 1
-            else:
-                result.hits += 1
+        tally = getattr(classifier, "tally_ref", None)
+        if tally is not None:  # batch backend: whole RIS in one call
+            tally(ref, result)
+        else:
+            classify = classifier.classify
+            for point in ris.enumerate_points():
+                outcome = classify(ref, point).outcome
+                result.analysed += 1
+                if outcome is Outcome.COLD:
+                    result.cold += 1
+                elif outcome is Outcome.REPLACEMENT:
+                    result.replacement += 1
+                else:
+                    result.hits += 1
+        result.check_invariants(exhaustive=True)
         record_ref_metrics(result, classifier)
     return result
 
@@ -78,6 +89,7 @@ def find_misses(
     reuse_options: Optional[ReuseOptions] = None,
     jobs: int = 1,
     memo: Optional["Memoizer"] = None,
+    backend: Optional[str] = None,
 ) -> MissReport:
     """Classify every iteration point of every reference.
 
@@ -88,7 +100,10 @@ def find_misses(
     content-addressed memoization (:mod:`repro.memo`): references whose
     equation system was already classified — earlier in this call, in this
     process, or in a previous run via a persistent store — replay the
-    stored tallies instead of being re-solved.
+    stored tallies instead of being re-solved.  ``backend`` selects the
+    classification backend (``"scalar"``/``"numpy"``; ``None`` = NumPy when
+    available); both backends produce bit-identical reports, so memo keys
+    exclude it.
     """
     started = time.perf_counter()
     if reuse is None:
@@ -98,9 +113,17 @@ def find_misses(
         from repro.parallel import solve_parallel
 
         return solve_parallel(
-            "find", nprog, layout, cache, reuse, jobs, refs=targets, memo=memo
+            "find",
+            nprog,
+            layout,
+            cache,
+            reuse,
+            jobs,
+            refs=targets,
+            memo=memo,
+            backend=backend,
         )
-    classifier = PointClassifier(nprog, layout, cache, reuse, walker)
+    classifier = make_classifier(backend, nprog, layout, cache, reuse, walker)
     report = MissReport("FindMisses", cache)
     with obs.span("cme/find"):
         if memo is not None:

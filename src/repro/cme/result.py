@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
+from repro.errors import InvariantError
 from repro.layout.cache import CacheConfig
 from repro.normalize.nprogram import NRef
 
@@ -48,6 +49,29 @@ class RefResult:
     cold: int = 0
     replacement: int = 0
     hits: int = 0
+
+    def check_invariants(self, exhaustive: bool = False) -> "RefResult":
+        """Assert the structural tally invariants; returns ``self``.
+
+        Every backend must satisfy ``cold + replacement + hits ==
+        analysed``, and an exhaustive solve (``FindMisses``) additionally
+        ``analysed == population``.  A violation means a classification
+        backend mis-counted, so it raises
+        :class:`~repro.errors.InvariantError` rather than letting a wrong
+        tally propagate into a report.
+        """
+        if self.cold + self.replacement + self.hits != self.analysed:
+            raise InvariantError(
+                f"{self.ref_name}: cold({self.cold}) + "
+                f"replacement({self.replacement}) + hits({self.hits}) "
+                f"!= analysed({self.analysed})"
+            )
+        if exhaustive and self.analysed != self.population:
+            raise InvariantError(
+                f"{self.ref_name}: exhaustive solve analysed "
+                f"{self.analysed} of {self.population} points"
+            )
+        return self
 
     @property
     def misses(self) -> int:

@@ -1,0 +1,287 @@
+"""Vectorized access-order machinery for the NumPy classification backend.
+
+Two pieces live here:
+
+* :class:`BatchAffine` — a stack of
+  :class:`~repro.iteration.walker.CompiledAffine` expressions compiled to one
+  ``(m, n)`` coefficient matrix, so bounds, guards and address polynomials
+  evaluate over whole ``(N, n)`` point batches as a single matrix product;
+* :class:`TraceIndex` — the whole-program access trace materialised as flat
+  NumPy arrays.  Execution order is recovered by lex-sorting interleaved
+  iteration vectors (the Section 3.2 property: lexicographic order on
+  ``(ℓ1, I1, …, ℓn, In, lexpos)`` *is* execution order), after which the
+  interference window of the replacement equations — all accesses strictly
+  between a producer and a consumer position — becomes a contiguous slice of
+  per-cache-set position arrays, and the ``k`` distinct-line test of Section
+  4.1.2 a vectorized distinct-count over that slice.
+
+The index answers exactly the query
+:meth:`repro.iteration.walker.Walker.distinct_conflicts_reach` answers, so
+the NumPy backend stays bit-identical to the scalar solver.  Building it
+costs ``O(T log T)`` in the trace length ``T`` — the right trade for
+``FindMisses`` (which classifies all ``T`` points anyway) but wrong for
+``EstimateMisses`` (whose whole pitch is cost *independent* of ``T``), so
+the batch classifier only uses it on the exhaustive path.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import MissingDependencyError
+from repro.iteration.walker import CompiledAffine, Walker
+from repro.normalize.nprogram import NormalizedProgram, NRef
+from repro.polyhedra.batch import enumerate_points_array
+
+try:
+    import numpy as np
+except ImportError as exc:  # pragma: no cover - exercised via import gate test
+    raise MissingDependencyError(
+        "repro.iteration.batch requires NumPy; install it with "
+        "`pip install numpy` (or `pip install repro`), or select the "
+        "pure-Python solver with backend='scalar' / --backend scalar"
+    ) from exc
+
+#: Traces larger than this are not materialised (the classifier falls back
+#: to the scalar per-window walker instead); ~50M accesses ≈ 400MB of keys.
+MAX_TRACE_ACCESSES = 50_000_000
+
+#: Mixed-radix point keys must fit comfortably in int64.
+_MAX_KEY = 1 << 62
+
+#: Length of the vectorized probe prefix of each interference window; only
+#: windows longer than this whose probe stays below ``k`` distinct lines
+#: (rare) fall back to a per-window ``np.unique``.
+_SMALL_WINDOW = 64
+
+#: Rows of the probe matrix processed per chunk (bounds peak memory).
+_CHUNK = 1 << 15
+
+
+class TraceInfeasible(Exception):
+    """The trace cannot be materialised (too long, or keys overflow int64).
+
+    Internal control flow only: the batch classifier catches it and keeps
+    the scalar walker as the window oracle, so callers never see it.
+    """
+
+
+class BatchAffine:
+    """A stack of compiled affine expressions as one coefficient matrix."""
+
+    __slots__ = ("matrix", "const")
+
+    def __init__(self, affines: Sequence[CompiledAffine], depth: int):
+        self.matrix = np.zeros((len(affines), depth), dtype=np.int64)
+        self.const = np.zeros(len(affines), dtype=np.int64)
+        for i, ca in enumerate(affines):
+            self.const[i] = ca.const
+            for d, coeff in ca.terms:
+                self.matrix[i, d] = coeff
+
+    def eval(self, points: "np.ndarray") -> "np.ndarray":
+        """Evaluate every expression at every point: ``(N, n) -> (N, m)``."""
+        return points @ self.matrix.T + self.const
+
+    def eval_single(self, points: "np.ndarray") -> "np.ndarray":
+        """Evaluate a single-expression stack to a flat ``(N,)`` array."""
+        return points @ self.matrix[0] + self.const[0]
+
+
+class _LeafBlock:
+    """Per-leaf enumeration: points, mixed-radix keys, per-ref trace slots."""
+
+    __slots__ = ("points", "keys", "lows", "strides", "start_of")
+
+    def __init__(self, points: "np.ndarray", ranges: list[tuple[int, int]]):
+        self.points = points
+        self.lows = np.array([lo for lo, _ in ranges], dtype=np.int64)
+        strides = [1] * len(ranges)
+        for d in range(len(ranges) - 2, -1, -1):
+            lo, hi = ranges[d + 1]
+            strides[d] = strides[d + 1] * (hi - lo + 1)
+        head_lo, head_hi = ranges[0] if ranges else (0, 0)
+        if ranges and strides[0] * (head_hi - head_lo + 1) >= _MAX_KEY:
+            raise TraceInfeasible("point keys overflow int64")
+        self.strides = np.array(strides, dtype=np.int64)
+        self.keys = self.encode(points)
+        self.start_of: dict[int, int] = {}  # ref.uid -> first trace slot
+
+    def encode(self, points: "np.ndarray") -> "np.ndarray":
+        """Mixed-radix key per point; monotone in lexicographic order."""
+        return (points - self.lows) @ self.strides
+
+
+class TraceIndex:
+    """The full access trace, indexed for vectorized window queries."""
+
+    def __init__(
+        self,
+        nprog: NormalizedProgram,
+        walker: Walker,
+        line_bytes: int,
+        num_sets: int,
+        max_accesses: int = MAX_TRACE_ACCESSES,
+    ):
+        self.num_sets = num_sets
+        total = sum(
+            nprog.ris(leaf).count() * len(leaf.refs) for leaf in nprog.leaves
+        )
+        if total > max_accesses:
+            raise TraceInfeasible(f"trace of {total} accesses exceeds budget")
+        n = nprog.depth
+        self._blocks: dict[int, _LeafBlock] = {}  # id(leaf) -> block
+        self._block_of_ref: dict[int, _LeafBlock] = {}  # ref.uid -> block
+        space_points: dict[int, "np.ndarray"] = {}  # id(space) -> points
+        pos_cols: list[list["np.ndarray"]] = [[] for _ in range(2 * n + 1)]
+        line_parts: list["np.ndarray"] = []
+        slot = 0
+        for leaf in nprog.leaves:
+            space = nprog.ris(leaf)
+            points = space_points.get(id(space))
+            if points is None:
+                points = enumerate_points_array(space)
+                space_points[id(space)] = points
+            ranges = space.var_ranges()
+            block = _LeafBlock(
+                points, [ranges[var] for var in nprog.index_vars]
+            )
+            self._blocks[id(leaf)] = block
+            count = len(points)
+            for ref in leaf.refs:
+                addr = BatchAffine(
+                    [walker.compiled_ref(ref).addr], n
+                ).eval_single(points)
+                block.start_of[ref.uid] = slot
+                self._block_of_ref[ref.uid] = block
+                slot += count
+                for d in range(n):
+                    pos_cols[2 * d].append(
+                        np.full(count, leaf.label[d], dtype=np.int64)
+                    )
+                    pos_cols[2 * d + 1].append(points[:, d])
+                pos_cols[2 * n].append(
+                    np.full(count, ref.lexpos, dtype=np.int64)
+                )
+                line_parts.append(addr // line_bytes)
+        self.total = slot
+        if slot == 0:
+            self._inv = np.empty(0, dtype=np.int64)
+            self._set_keys = np.empty(0, dtype=np.int64)
+            self._lines_by_set = np.empty(0, dtype=np.int64)
+            return
+        cols = [np.concatenate(parts) for parts in pos_cols]
+        lines = np.concatenate(line_parts)
+        # np.lexsort keys run minor -> major; execution order is lex order
+        # on (l1, I1, ..., ln, In, lexpos), so feed the columns reversed.
+        order = np.lexsort(tuple(reversed(cols)))
+        inv = np.empty(slot, dtype=np.int64)
+        inv[order] = np.arange(slot, dtype=np.int64)
+        self._inv = inv
+        line_at_t = lines[order]
+        set_at_t = line_at_t % num_sets
+        by_set = np.argsort(set_at_t, kind="stable")  # (set, t) ascending
+        # One sorted key ``set·(T+1) + t`` per access: window boundaries in
+        # any set become a single vectorized searchsorted over all queries
+        # (keys of other sets land outside the query's [base, base+T] band).
+        self._set_keys = set_at_t[by_set] * np.int64(slot + 1) + by_set
+        self._lines_by_set = line_at_t[by_set]
+
+    # -- position lookup ---------------------------------------------------------
+
+    def t_of(self, ref: NRef, points: "np.ndarray") -> "np.ndarray":
+        """Trace times of ``ref``'s accesses at the given iteration points.
+
+        Every row must lie inside the reference's RIS (the cold equations
+        guarantee that for producer points; consumers enumerate their RIS).
+        """
+        block = self._block_of_ref[ref.uid]
+        rows = np.searchsorted(block.keys, block.encode(points))
+        return self._inv[block.start_of[ref.uid] + rows]
+
+    # -- the replacement-equation window query -------------------------------------
+
+    def conflicts_reach(
+        self,
+        t_lo: "np.ndarray",
+        t_hi: "np.ndarray",
+        reused_lines: "np.ndarray",
+        k: int,
+    ) -> "np.ndarray":
+        """Vectorized :meth:`Walker.distinct_conflicts_reach` over queries.
+
+        For each query ``q``: True iff at least ``k`` *distinct* memory
+        lines other than ``reused_lines[q]`` map to the reused line's cache
+        set among the accesses with trace time strictly between
+        ``t_lo[q]`` and ``t_hi[q]``.
+        """
+        count = len(t_lo)
+        result = np.zeros(count, dtype=bool)
+        if count == 0:
+            return result
+        base = (reused_lines % self.num_sets) * np.int64(self.total + 1)
+        lo = np.searchsorted(self._set_keys, base + t_lo, side="right")
+        hi = np.searchsorted(self._set_keys, base + t_hi, side="left")
+        lengths = hi - lo
+        # < k accesses cannot hold k distinct lines.
+        queries = np.flatnonzero(lengths >= k)
+        for chunk_at in range(0, len(queries), _CHUNK):
+            chunk = queries[chunk_at : chunk_at + _CHUNK]
+            # Probe pass: the distinct count over the first
+            # min(length, _SMALL_WINDOW) accesses of every window at once.
+            # Reaching k inside the prefix settles the query (distinct
+            # counts only grow with the window); a short window is its own
+            # prefix, so staying below k settles it too.  Only long windows
+            # whose probe stayed below k need an exact per-window count —
+            # in practice a handful, because k is the associativity (2–8)
+            # and prefixes of long reuse windows reach it almost always.
+            width = min(int(lengths[chunk].max()), _SMALL_WINDOW)
+            distinct = self._distinct_prefix(
+                lo[chunk],
+                np.minimum(lengths[chunk], width),
+                reused_lines[chunk],
+                width,
+            )
+            settled = distinct >= k
+            result[chunk] = settled
+            for q in chunk[~settled & (lengths[chunk] > width)]:
+                window = self._lines_by_set[lo[q] : hi[q]]
+                unique = np.unique(window)
+                conflicts = len(unique) - int(
+                    np.searchsorted(unique, reused_lines[q], side="right")
+                    > np.searchsorted(unique, reused_lines[q], side="left")
+                )
+                result[q] = conflicts >= k
+        return result
+
+    def _distinct_prefix(
+        self,
+        lo: "np.ndarray",
+        lengths: "np.ndarray",
+        reused_lines: "np.ndarray",
+        width: int,
+    ) -> "np.ndarray":
+        """Distinct lines (excluding the reused one) per window prefix.
+
+        Window prefixes (``lengths`` ≤ ``width``) are gathered into one
+        padded ``(Q, width)`` matrix; the reused line and the padding become
+        a sentinel, rows are sorted, and the distinct count is the number of
+        value transitions — one ``np.unique`` semantics pass for the whole
+        batch.
+        """
+        offsets = np.arange(width, dtype=np.int64)
+        index = lo[:, None] + offsets[None, :]
+        valid = offsets[None, :] < lengths[:, None]
+        index = np.minimum(index, max(self.total - 1, 0))
+        values = self._lines_by_set[index]
+        sentinel = np.iinfo(np.int64).max
+        values = np.where(valid, values, sentinel)
+        values = np.where(values == reused_lines[:, None], sentinel, values)
+        values.sort(axis=1)
+        real = values != sentinel
+        distinct = real[:, 0].astype(np.int64)
+        if width > 1:
+            distinct += (
+                (values[:, 1:] != values[:, :-1]) & real[:, 1:]
+            ).sum(axis=1)
+        return distinct

@@ -44,7 +44,7 @@ from repro.layout.cache import CacheConfig
 from repro.layout.memory import MemoryLayout
 from repro.normalize.nprogram import NormalizedProgram, NRef
 from repro.reuse.generator import ReuseTable
-from repro.cme.point import PointClassifier
+from repro.cme.backend import make_classifier, resolve_backend
 from repro.cme.result import MissReport, RefResult
 
 if TYPE_CHECKING:  # repro.memo imports repro.cme.result — keep this lazy
@@ -53,8 +53,10 @@ if TYPE_CHECKING:  # repro.memo imports repro.cme.result — keep this lazy
 #: Chunks dealt per worker; >1 smooths out skewed per-reference volumes.
 CHUNKS_PER_JOB = 4
 
-#: Per-worker cache: ``(NormalizedProgram, PointClassifier)``.
-_STATE: Optional[tuple[NormalizedProgram, PointClassifier]] = None
+#: Per-worker cache: ``(NormalizedProgram, classifier)`` — the classifier is
+#: built by :func:`repro.cme.backend.make_classifier` from the backend name
+#: shipped in the payload, so every worker uses the caller's backend.
+_STATE: Optional[tuple[NormalizedProgram, object]] = None
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -75,8 +77,8 @@ def _pool_context():
 def _load_state(payload: bytes) -> None:
     """Unpickle the shared analysis state into this process's cache."""
     global _STATE
-    nprog, layout, cache, reuse = pickle.loads(payload)
-    _STATE = (nprog, PointClassifier(nprog, layout, cache, reuse))
+    nprog, layout, cache, reuse, backend = pickle.loads(payload)
+    _STATE = (nprog, make_classifier(backend, nprog, layout, cache, reuse))
 
 
 def _init_worker(payload: bytes) -> None:
@@ -159,6 +161,7 @@ class ParallelEngine:
         reuse: ReuseTable,
         jobs: Optional[int] = None,
         memo: Optional["Memoizer"] = None,
+        backend: Optional[str] = None,
     ):
         self.nprog = nprog
         self.layout = layout
@@ -166,8 +169,13 @@ class ParallelEngine:
         self.reuse = reuse
         self.memo = memo
         self.jobs = resolve_jobs(jobs)
+        # Resolve the backend in the parent so every worker (and the serial
+        # path) builds the same classifier, even if workers could differ in
+        # what they can import.
+        self.backend = resolve_backend(backend)
         self._payload = pickle.dumps(
-            (nprog, layout, cache, reuse), protocol=pickle.HIGHEST_PROTOCOL
+            (nprog, layout, cache, reuse, self.backend),
+            protocol=pickle.HIGHEST_PROTOCOL,
         )
         self._pool: Optional[ProcessPoolExecutor] = None
 
@@ -306,6 +314,7 @@ def solve_parallel(
     width: float = 0.05,
     seed: int = 0,
     memo: Optional["Memoizer"] = None,
+    backend: Optional[str] = None,
 ) -> MissReport:
     """One-shot parallel solve (ephemeral :class:`ParallelEngine`).
 
@@ -314,7 +323,7 @@ def solve_parallel(
     """
     if method not in ("find", "estimate"):
         raise ValueError(f"unknown method {method!r}; use 'find' or 'estimate'")
-    with ParallelEngine(nprog, layout, cache, reuse, jobs, memo) as engine:
+    with ParallelEngine(nprog, layout, cache, reuse, jobs, memo, backend) as engine:
         if method == "find":
             return engine.find(refs)
         return engine.estimate(refs, confidence, width, seed)

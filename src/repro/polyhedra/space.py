@@ -105,6 +105,17 @@ class BoundedSpace:
         """True if a constant guard constraint already rules out all points."""
         return any(c.trivially_false() for c in self._const_cons)
 
+    def constraints_at(self, level: int) -> tuple[Constraint, ...]:
+        """The guard constraints anchored at dimension ``level``.
+
+        A constraint is anchored at the deepest dimension it mentions, so
+        it becomes checkable as soon as that dimension is fixed — the same
+        schedule :meth:`contains`, :meth:`count` and :meth:`enumerate_points`
+        use, exposed for the vectorized helpers of
+        :mod:`repro.polyhedra.batch`.
+        """
+        return tuple(self._cons_at[level])
+
     def contains(self, point: Sequence[int]) -> bool:
         """True if ``point`` (one integer per dimension) lies in the space."""
         if len(point) != self._n:

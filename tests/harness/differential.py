@@ -242,10 +242,10 @@ def generate_cases(count: int, seed: int = 20260806) -> list[Case]:
 # -- the two legs ---------------------------------------------------------------------
 
 
-def check_find(case: Case, jobs: int = 1) -> list[str]:
+def check_find(case: Case, jobs: int = 1, backend: str = None) -> list[str]:
     """Diff ``find_misses`` against the simulator; returns failure messages."""
     nprog, layout = case.prepared()
-    analytic = find_misses(nprog, layout, case.cache, jobs=jobs)
+    analytic = find_misses(nprog, layout, case.cache, jobs=jobs, backend=backend)
     ground = simulate(nprog, layout, case.cache)
     failures = []
     if analytic.total_accesses != ground.total_accesses:
@@ -276,6 +276,7 @@ def check_estimate(
     width: float = 0.10,
     seed: int = 0,
     jobs: int = 1,
+    backend: str = None,
 ) -> MissReport:
     """Diff ``estimate_misses`` against ``FindMisses`` (its exact target).
 
@@ -285,7 +286,7 @@ def check_estimate(
     exhaustively-analysed references must match ``FindMisses`` exactly.
     """
     nprog, layout = case.prepared()
-    exact = find_misses(nprog, layout, case.cache, jobs=jobs)
+    exact = find_misses(nprog, layout, case.cache, jobs=jobs, backend=backend)
     est = estimate_misses(
         nprog,
         layout,
@@ -294,6 +295,7 @@ def check_estimate(
         width=width,
         seed=seed,
         jobs=jobs,
+        backend=backend,
     )
     for ref in nprog.refs:
         e = est.result_for(ref)
@@ -318,14 +320,15 @@ def run_differential(
     confidence: float = 0.95,
     width: float = 0.10,
     seed: int = 0,
+    backend: str = None,
 ) -> DifferentialSummary:
     """Run both legs over ``cases``; the caller asserts on the summary."""
     summary = DifferentialSummary()
     for case in cases:
         summary.cases += 1
-        summary.failures.extend(check_find(case, jobs=jobs))
+        summary.failures.extend(check_find(case, jobs=jobs, backend=backend))
         check_estimate(
             case, summary, confidence=confidence, width=width, seed=seed,
-            jobs=jobs,
+            jobs=jobs, backend=backend,
         )
     return summary

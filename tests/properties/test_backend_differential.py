@@ -1,0 +1,93 @@
+"""Differential fuzz sweep for the NumPy classification backend (ISSUE 5).
+
+Over the same 210-case seeded pool as the memoization sweep (all harness
+families, all cache geometries), the vectorized backend must be
+**bit-identical** to the pure-Python one:
+
+* ``FindMisses`` reports compare equal case-for-case (same tallies, same
+  per-reference results);
+* ``EstimateMisses`` at a fixed sampling seed compares equal — the batch
+  path must consume the identical sample the scalar path draws;
+* point-by-point, :meth:`BatchClassifier.classify_points` returns the same
+  :class:`~repro.cme.Classification` — outcome *and* deciding reuse
+  vector — as scalar :meth:`~repro.cme.PointClassifier.classify`, with the
+  same ``vector_trials`` accounting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cme import estimate_misses, find_misses, make_classifier
+from repro.reuse import build_reuse_table
+from tests.harness.differential import FAMILIES, generate_cases
+
+pytest.importorskip("numpy", reason="the batch backend needs NumPy")
+
+#: 30 cases per family — 210 total, same pool size as the memo sweep.
+CASE_COUNT = 30 * len(FAMILIES)
+
+_cases = None
+
+
+def all_cases():
+    global _cases
+    if _cases is None:
+        _cases = generate_cases(CASE_COUNT)
+    return _cases
+
+
+def test_find_reports_bit_identical():
+    failures = []
+    for case in all_cases():
+        nprog, layout = case.prepared()
+        scalar = find_misses(nprog, layout, case.cache, backend="scalar")
+        batch = find_misses(nprog, layout, case.cache, backend="numpy")
+        if batch != scalar:
+            failures.append(f"{case.name}: numpy FindMisses != scalar")
+    assert not failures, "\n".join(failures[:20])
+
+
+def test_estimate_reports_bit_identical_at_fixed_seed():
+    failures = []
+    # Every third case keeps the sampling leg fast while still touching
+    # every family (210 / 3 = 70 cases, family stride 7 is coprime to 3).
+    for case in all_cases()[::3]:
+        nprog, layout = case.prepared()
+        scalar = estimate_misses(
+            nprog, layout, case.cache, seed=20260806, backend="scalar"
+        )
+        batch = estimate_misses(
+            nprog, layout, case.cache, seed=20260806, backend="numpy"
+        )
+        if batch != scalar:
+            failures.append(f"{case.name}: numpy EstimateMisses != scalar")
+    assert not failures, "\n".join(failures)
+
+
+def test_classifications_agree_point_by_point():
+    # One case per family: compare the full Classification (outcome and the
+    # deciding reuse vector) for every point of every reference, plus the
+    # drained trial counts.  The reuse table is shared so vector identity
+    # carries across both classifiers.
+    for case in all_cases()[: len(FAMILIES)]:
+        nprog, layout = case.prepared()
+        reuse = build_reuse_table(nprog, case.cache.line_bytes)
+        batch = make_classifier("numpy", nprog, layout, case.cache, reuse)
+        scalar = make_classifier("scalar", nprog, layout, case.cache, reuse)
+        assert batch.backend_name == "numpy"
+        for ref in nprog.refs:
+            points = list(nprog.ris(ref.leaf).enumerate_points())
+            got = batch.classify_points(ref, points)
+            want = [scalar.classify(ref, p) for p in points]
+            for point, g, w in zip(points, got, want):
+                assert g == w, (
+                    f"{case.name}: {ref.name()}@{point} classified {g} "
+                    f"by the batch backend, {w} by the scalar backend"
+                )
+        assert batch.drain_vector_trials() == scalar.drain_vector_trials()
+        vectorized, fallback = batch.drain_backend_counts()
+        assert fallback == 0
+        assert vectorized == sum(
+            nprog.ris(ref.leaf).count() for ref in nprog.refs
+        )
