@@ -171,8 +171,21 @@ def analyze(
 
 
 def run_simulation(
-    target: Union[Program, PreparedProgram], cache: CacheConfig
+    target: Union[Program, PreparedProgram],
+    cache: CacheConfig,
+    backend: Optional[str] = None,
 ) -> SimReport:
-    """Run the trace-driven LRU cache simulator on the whole program."""
+    """Run the trace-driven LRU cache simulator on the whole program.
+
+    ``backend`` selects the simulator — ``"numpy"`` (vectorized
+    stack-distance kernel) or ``"scalar"`` (walker + LRU state machine);
+    ``None`` means NumPy when installed.  Reports are bit-identical.
+    """
     prepared = _as_prepared(target)
-    return simulate(prepared.nprog, prepared.layout, cache, walker=prepared.walker)
+    return simulate(
+        prepared.nprog,
+        prepared.layout,
+        cache,
+        walker=prepared.walker,
+        backend=backend,
+    )

@@ -5,8 +5,11 @@ Examples::
     repro-cache analyze hydro --cache 32:32:2 --size 64
     repro-cache analyze hydro --cache 32:32:2 --trace --metrics-out m.json
     repro-cache compare mmt --cache 8:32:1 --size 32
-    repro-cache simulate path/to/kernel.f --cache 32:32:4
+    repro-cache simulate path/to/kernel.f --cache 32:32:4 --sim-backend numpy
     repro-cache stats applu
+    repro-cache trace export swim --size 40 -o swim.trace
+    repro-cache trace simulate swim.trace --cache 4:32:2
+    repro-cache trace import raw.addr --word-bytes 4 --byteorder big -o ext.trace
 
 Cache specifications are ``SIZE_KB:LINE_BYTES:ASSOC``.
 
@@ -106,6 +109,18 @@ def _add_backend_arg(sub: argparse.ArgumentParser) -> None:
         help="classification backend: 'numpy' = vectorized batch solving "
         "(falls back to scalar when NumPy is not installed), 'scalar' = "
         "pure Python; results are bit-identical either way",
+    )
+
+
+def _add_sim_backend_arg(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--sim-backend",
+        choices=["scalar", "numpy"],
+        default="numpy",
+        help="simulator backend: 'numpy' = vectorized stack-distance "
+        "kernel (falls back to scalar when NumPy is not installed), "
+        "'scalar' = walker + LRU state machine; per-reference tallies "
+        "are bit-identical either way",
     )
 
 
@@ -288,7 +303,7 @@ def _cmd_analyze(args, program: Program, echo: Callable[[str], None]) -> int:
 def _cmd_simulate(args, program: Program, echo: Callable[[str], None]) -> int:
     cache = _parse_cache(args.cache)
     prepared = prepare(program)
-    report = run_simulation(prepared, cache)
+    report = run_simulation(prepared, cache, backend=args.sim_backend)
     echo(
         f"{program.name} on {cache.describe()}: "
         f"miss ratio {report.miss_ratio_percent:.2f}% "
@@ -311,7 +326,7 @@ def _cmd_compare(args, program: Program, echo: Callable[[str], None]) -> int:
         backend=args.backend,
     )
     _close_memoizer(memo)
-    simulated = run_simulation(prepared, cache)
+    simulated = run_simulation(prepared, cache, backend=args.sim_backend)
     err = abs(analytic.miss_ratio_percent - simulated.miss_ratio_percent)
     echo(
         format_table(
@@ -334,6 +349,55 @@ def _cmd_compare(args, program: Program, echo: Callable[[str], None]) -> int:
         )
     )
     return 0
+
+
+def _cmd_trace(args, echo: Callable[[str], None]) -> int:
+    """The ``trace`` verbs: export, import and simulate binary traces."""
+    from repro.errors import MissingDependencyError, TraceFormatError
+    from repro.sim import (
+        collect_walker_trace,
+        import_address_trace,
+        simulate_trace,
+        write_trace,
+    )
+
+    try:
+        if args.trace_command == "export":
+            program = _load_workload(args.workload, args.size, args.steps)
+            prepared = prepare(program)
+            count = write_trace(
+                args.output, collect_walker_trace(prepared.walker)
+            )
+            echo(
+                f"{program.name}: exported {count} accesses "
+                f"to {args.output}"
+            )
+            return 0
+        if args.trace_command == "import":
+            pairs = import_address_trace(
+                args.input,
+                word_bytes=args.word_bytes,
+                byteorder=args.byteorder,
+                ref_uid=args.ref_uid,
+            )
+            count = write_trace(args.output, pairs)
+            echo(
+                f"imported {count} {args.word_bytes}-byte "
+                f"{args.byteorder}-endian addresses from {args.input} "
+                f"to {args.output}"
+            )
+            return 0
+        cache = _parse_cache(args.cache)
+        report = simulate_trace(args.input, cache, backend=args.sim_backend)
+        echo(
+            f"{args.input} on {cache.describe()}: "
+            f"miss ratio {report.miss_ratio_percent:.2f}% "
+            f"({report.total_misses} of {report.total_accesses} accesses, "
+            f"{report.elapsed_seconds:.2f}s)"
+        )
+        return 0
+    except (TraceFormatError, MissingDependencyError) as exc:
+        raise SystemExit(str(exc))
 
 
 # -- observability plumbing ----------------------------------------------------
@@ -391,6 +455,7 @@ def main(argv: Optional[list[str]] = None) -> int:
 
     p_sim = subs.add_parser("simulate", help="trace-driven LRU simulation")
     _add_workload_args(p_sim)
+    _add_sim_backend_arg(p_sim)
     _add_obs_args(p_sim)
 
     p_cmp = subs.add_parser("compare", help="analytical vs simulated, side by side")
@@ -399,9 +464,60 @@ def main(argv: Optional[list[str]] = None) -> int:
         "--method", choices=["estimate", "find"], default="estimate"
     )
     _add_backend_arg(p_cmp)
+    _add_sim_backend_arg(p_cmp)
     _add_jobs_arg(p_cmp)
     _add_memo_args(p_cmp)
     _add_obs_args(p_cmp)
+
+    p_trace = subs.add_parser(
+        "trace", help="export, import and simulate binary access traces"
+    )
+    tsubs = p_trace.add_subparsers(dest="trace_command", required=True)
+
+    t_export = tsubs.add_parser(
+        "export", help="walk a workload and write its binary trace"
+    )
+    t_export.add_argument(
+        "workload", help="builtin name (hydro, mmt, swim, ...) or .f file"
+    )
+    t_export.add_argument("--size", type=int, default=None, help="problem size")
+    t_export.add_argument("--steps", type=int, default=2, help="time steps")
+    t_export.add_argument(
+        "-o", "--output", required=True, help="trace file to write"
+    )
+    _add_obs_args(t_export)
+
+    t_import = tsubs.add_parser(
+        "import",
+        help="convert a raw fixed-width address trace to the binary format",
+    )
+    t_import.add_argument("input", help="raw address trace file")
+    t_import.add_argument(
+        "-o", "--output", required=True, help="trace file to write"
+    )
+    t_import.add_argument(
+        "--word-bytes", type=int, default=4, help="bytes per address word"
+    )
+    t_import.add_argument(
+        "--byteorder", choices=["big", "little"], default="big"
+    )
+    t_import.add_argument(
+        "--ref-uid",
+        type=int,
+        default=0,
+        help="reference uid to attribute every access to",
+    )
+    _add_obs_args(t_import)
+
+    t_sim = tsubs.add_parser(
+        "simulate", help="replay a binary trace through the LRU simulator"
+    )
+    t_sim.add_argument("input", help="binary trace file")
+    t_sim.add_argument(
+        "--cache", default="32:32:1", help="cache spec SIZE_KB:LINE_BYTES:ASSOC"
+    )
+    _add_sim_backend_arg(t_sim)
+    _add_obs_args(t_sim)
 
     p_stats = subs.add_parser("stats", help="Table 5 / Table 2 style statistics")
     p_stats.add_argument("workload")
@@ -440,10 +556,13 @@ def main(argv: Optional[list[str]] = None) -> int:
         "compare": _cmd_compare,
     }
     try:
-        program = _load_workload(
-            args.workload, args.size, getattr(args, "steps", 2)
-        )
-        rc = commands[args.command](args, program, echo)
+        if args.command == "trace":
+            rc = _cmd_trace(args, echo)
+        else:
+            program = _load_workload(
+                args.workload, args.size, getattr(args, "steps", 2)
+            )
+            rc = commands[args.command](args, program, echo)
     finally:
         if profiler is not None:
             if args.profile_span:

@@ -72,6 +72,15 @@ class AnalysisError(ReproError):
     """A generic failure inside the cache-behaviour analysis."""
 
 
+class TraceFormatError(ReproError):
+    """A binary trace file violates the ``repro`` trace format.
+
+    Raised by :mod:`repro.sim.tracefile` for bad magic, unknown versions or
+    record kinds, truncated payloads, record counts that disagree with the
+    file size, and records whose fields overflow the fixed-width encoding.
+    """
+
+
 class MissingDependencyError(ReproError):
     """An optional runtime dependency is not installed.
 

@@ -2,8 +2,19 @@
 
 from repro.sim.cache import SetAssocLRUCache
 from repro.sim.reference_interp import interpret_accesses, reference_trace
-from repro.sim.simulator import SimReport, simulate
+from repro.sim.simulator import (
+    SimReport,
+    simulate,
+    simulate_sweep,
+    simulate_trace,
+)
 from repro.sim.trace import TraceEntry, collect_walker_trace, naive_trace
+from repro.sim.tracefile import (
+    import_address_trace,
+    read_trace,
+    read_trace_arrays,
+    write_trace,
+)
 
 __all__ = [
     "SetAssocLRUCache",
@@ -11,7 +22,13 @@ __all__ = [
     "reference_trace",
     "SimReport",
     "simulate",
+    "simulate_sweep",
+    "simulate_trace",
     "TraceEntry",
     "collect_walker_trace",
     "naive_trace",
+    "import_address_trace",
+    "read_trace",
+    "read_trace_arrays",
+    "write_trace",
 ]

@@ -1,11 +1,31 @@
-"""Whole-program cache simulation driven by the access-order walker."""
+"""Whole-program cache simulation driven by the access-order walker.
+
+Two interchangeable backends produce **bit-identical** per-reference
+tallies (the trace-level differential suite asserts it case for case):
+
+* ``"scalar"`` — walk the program access by access through the
+  :class:`~repro.sim.cache.SetAssocLRUCache` state machine (pure Python,
+  zero dependencies, streams without materialising the trace);
+* ``"numpy"`` — materialise the trace as arrays and decide every miss at
+  once with the stack-distance kernel of :mod:`repro.sim.batch`.
+
+Backend names, defaulting and degradation follow
+:func:`repro.cme.backend.resolve_backend` — the same resolve/degrade
+contract as the classification backends, so ``backend=None`` means NumPy
+when installed and the scalar walker otherwise.  Traces too large to
+materialise degrade to the scalar walk as well (counted under
+``sim.backend.fallbacks``).
+"""
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
 
 from repro import obs
+from repro.cme.backend import resolve_backend
+from repro.errors import InvariantError
 from repro.layout.cache import CacheConfig
 from repro.layout.memory import MemoryLayout
 from repro.normalize.nprogram import NormalizedProgram, NRef
@@ -54,12 +74,61 @@ def simulate(
     layout: MemoryLayout,
     cache: CacheConfig,
     walker: Walker | None = None,
+    backend: Optional[str] = None,
 ) -> SimReport:
     """Simulate the full access trace of a normalised program.
 
-    Runs the walker over every access in execution order, feeding the LRU
-    cache model and tallying per-reference hits and misses.
+    ``backend`` selects ``"numpy"`` (vectorized stack-distance kernel) or
+    ``"scalar"`` (walker + LRU state machine); ``None``/``"auto"`` pick
+    NumPy when installed.  Both backends report identical per-reference
+    accesses and misses.
     """
+    if resolve_backend(backend) == "numpy":
+        from repro.sim import batch
+
+        try:
+            return batch.simulate_batch(nprog, layout, cache, walker=walker)
+        except batch.TraceTooLargeError:
+            obs.counter("sim.backend.fallbacks").inc()
+    return _simulate_scalar(nprog, layout, cache, walker)
+
+
+def simulate_sweep(
+    nprog: NormalizedProgram,
+    layout: MemoryLayout,
+    caches: Sequence[CacheConfig],
+    walker: Walker | None = None,
+    backend: Optional[str] = None,
+) -> list[SimReport]:
+    """Simulate one program against a sweep of cache configurations.
+
+    The access trace does not depend on the cache, so the NumPy backend
+    builds it once and re-runs only the per-configuration stack-distance
+    kernel — the shape of the paper's Table 6 validation columns.  The
+    scalar backend walks the program once per cache.  Reports are
+    returned in ``caches`` order and are bit-identical to per-cache
+    :func:`simulate` calls.
+    """
+    caches = list(caches)
+    if caches and resolve_backend(backend) == "numpy":
+        from repro.sim import batch
+
+        try:
+            return batch.simulate_sweep(nprog, layout, caches, walker=walker)
+        except batch.TraceTooLargeError:
+            obs.counter("sim.backend.fallbacks").inc()
+    if walker is None and caches:
+        walker = Walker(nprog, layout)
+    return [_simulate_scalar(nprog, layout, c, walker) for c in caches]
+
+
+def _simulate_scalar(
+    nprog: NormalizedProgram,
+    layout: MemoryLayout,
+    cache: CacheConfig,
+    walker: Walker | None = None,
+) -> SimReport:
+    """The walker-driven scalar simulation (LRU dicts, one access at a time)."""
     walker = walker if walker is not None else Walker(nprog, layout)
     state = SetAssocLRUCache(cache)
     accesses = {r.uid: 0 for r in nprog.refs}
@@ -85,3 +154,76 @@ def simulate(
     obs.counter("sim.hits").inc(report.total_accesses - report.total_misses)
     obs.counter("sim.evictions").inc(state.evictions)
     return report
+
+
+def simulate_trace(
+    source,
+    cache: CacheConfig,
+    refs: Optional[Sequence[NRef]] = None,
+    backend: Optional[str] = None,
+) -> SimReport:
+    """Simulate an explicit ``(ref_uid, address)`` trace.
+
+    ``source`` is a path to a binary trace file
+    (:mod:`repro.sim.tracefile`) or an in-memory iterable of pairs.  With
+    ``refs`` (the program's references), tallies are keyed by those
+    references and a trace uid the program does not define raises
+    :class:`~repro.errors.InvariantError` instead of silently dropping
+    the tally.  ``backend`` selects the simulator exactly as in
+    :func:`simulate`.
+    """
+    from repro.sim import tracefile
+
+    is_path = isinstance(source, (str, bytes)) or hasattr(source, "__fspath__")
+    if resolve_backend(backend) == "numpy":
+        import numpy as np
+
+        from repro.sim import batch
+
+        with obs.span("sim/decode"):
+            if is_path:
+                uids, addrs = tracefile.read_trace_arrays(source)
+            else:
+                pairs = list(source)
+                uids = np.fromiter(
+                    (u for u, _ in pairs), np.uint32, count=len(pairs)
+                )
+                addrs = np.fromiter(
+                    (a for _, a in pairs), np.int64, count=len(pairs)
+                )
+        return batch.simulate_trace_arrays(uids, addrs, cache, refs=refs)
+    with obs.span("sim/decode"):
+        pairs = tracefile.read_trace(source) if is_path else list(source)
+    return _replay_scalar(pairs, cache, refs)
+
+
+def _replay_scalar(
+    pairs: Sequence[Tuple[int, int]],
+    cache: CacheConfig,
+    refs: Optional[Sequence[NRef]],
+) -> SimReport:
+    started = time.perf_counter()
+    if refs is not None:
+        accesses = {r.uid: 0 for r in refs}
+        misses = {r.uid: 0 for r in refs}
+        known = frozenset(accesses)
+    else:
+        accesses = {}
+        misses = {}
+        known = None
+    state = SetAssocLRUCache(cache)
+    access_line = state.access_line
+    line_bytes = cache.line_bytes
+    with obs.span("sim/replay"):
+        for position, (uid, addr) in enumerate(pairs):
+            if known is not None and uid not in known:
+                raise InvariantError(
+                    f"trace names ref uid {uid} at access {position} "
+                    f"but the program has no such reference"
+                )
+            accesses[uid] = accesses.get(uid, 0) + 1
+            if not access_line(addr // line_bytes):
+                misses[uid] = misses.get(uid, 0) + 1
+    for uid in accesses:
+        misses.setdefault(uid, 0)
+    return SimReport(cache, accesses, misses, time.perf_counter() - started)

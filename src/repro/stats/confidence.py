@@ -18,17 +18,33 @@ from __future__ import annotations
 
 import math
 
-from scipy.stats import norm
-
 #: Fig. 6's fallback accuracy for small reference iteration spaces.
 DEFAULT_FALLBACK = (0.90, 0.15)
+
+
+def _normal_quantile(p: float) -> float:
+    """Standard-normal inverse CDF, importable without SciPy.
+
+    SciPy's ``norm.ppf`` is preferred when importable so existing
+    environments keep bit-identical sample sizes; interpreters without a
+    working SciPy (e.g. the NumPy-less CI leg, where only the scalar
+    simulator runs) fall back to :class:`statistics.NormalDist`, whose
+    quantiles agree to ~1 ulp.
+    """
+    try:
+        from scipy.stats import norm
+    except ImportError:
+        from statistics import NormalDist
+
+        return NormalDist().inv_cdf(p)
+    return float(norm.ppf(p))
 
 
 def z_value(confidence: float) -> float:
     """The two-sided standard-normal quantile for a confidence level."""
     if not 0.0 < confidence < 1.0:
         raise ValueError("confidence must be in (0, 1)")
-    return float(norm.ppf((1.0 + confidence) / 2.0))
+    return _normal_quantile((1.0 + confidence) / 2.0)
 
 
 def sample_size(

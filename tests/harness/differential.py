@@ -242,11 +242,13 @@ def generate_cases(count: int, seed: int = 20260806) -> list[Case]:
 # -- the two legs ---------------------------------------------------------------------
 
 
-def check_find(case: Case, jobs: int = 1, backend: str = None) -> list[str]:
+def check_find(
+    case: Case, jobs: int = 1, backend: str = None, sim_backend: str = None
+) -> list[str]:
     """Diff ``find_misses`` against the simulator; returns failure messages."""
     nprog, layout = case.prepared()
     analytic = find_misses(nprog, layout, case.cache, jobs=jobs, backend=backend)
-    ground = simulate(nprog, layout, case.cache)
+    ground = simulate(nprog, layout, case.cache, backend=sim_backend)
     failures = []
     if analytic.total_accesses != ground.total_accesses:
         failures.append(
@@ -321,12 +323,15 @@ def run_differential(
     width: float = 0.10,
     seed: int = 0,
     backend: str = None,
+    sim_backend: str = None,
 ) -> DifferentialSummary:
     """Run both legs over ``cases``; the caller asserts on the summary."""
     summary = DifferentialSummary()
     for case in cases:
         summary.cases += 1
-        summary.failures.extend(check_find(case, jobs=jobs, backend=backend))
+        summary.failures.extend(
+            check_find(case, jobs=jobs, backend=backend, sim_backend=sim_backend)
+        )
         check_estimate(
             case, summary, confidence=confidence, width=width, seed=seed,
             jobs=jobs, backend=backend,

@@ -76,7 +76,7 @@ class TestSerialInstrumentation:
 
     def test_simulation_counters(self, prepared, cache):
         obs.enable()
-        report = run_simulation(prepared, cache)
+        report = run_simulation(prepared, cache, backend="scalar")
         counters = obs.snapshot()["counters"]
         assert counters["sim.accesses"] == report.total_accesses
         assert counters["sim.misses"] == report.total_misses
@@ -85,6 +85,33 @@ class TestSerialInstrumentation:
         )
         assert counters["sim.evictions"] <= counters["sim.misses"]
         assert {s["name"] for s in obs.snapshot()["spans"]} >= {"sim/walk"}
+
+    def test_batch_simulation_counters_match_scalar(self, prepared, cache):
+        pytest.importorskip("numpy")
+        obs.enable()
+        run_simulation(prepared, cache, backend="scalar")
+        scalar = {
+            k: v
+            for k, v in obs.snapshot()["counters"].items()
+            if k.startswith("sim.") and not k.startswith("sim.backend.")
+        }
+        obs.reset()
+        report = run_simulation(prepared, cache, backend="numpy")
+        snap = obs.snapshot()
+        batch = {
+            k: v
+            for k, v in snap["counters"].items()
+            if k.startswith("sim.") and not k.startswith("sim.backend.")
+        }
+        # Accesses, misses, hits *and* evictions agree — the batch kernel
+        # recovers evictions analytically, without replaying LRU state.
+        assert batch == scalar
+        assert snap["counters"]["sim.backend.batch.runs"] == 1
+        assert (
+            snap["counters"]["sim.backend.batch.accesses"]
+            == report.total_accesses
+        )
+        assert {s["name"] for s in snap["spans"]} >= {"sim/decode", "sim/batch"}
 
 
 class TestParallelMerge:

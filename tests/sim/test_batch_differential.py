@@ -1,0 +1,98 @@
+"""Trace-level differential sweep: vectorized vs scalar simulator (ISSUE 6).
+
+Over the same 210-case seeded pool as the classification-backend sweep
+(all harness families, all cache geometries), the stack-distance kernel
+must be **bit-identical** to :class:`~repro.sim.cache.SetAssocLRUCache`:
+
+* ``simulate(backend="numpy")`` reports the same per-reference
+  ``accesses`` and ``misses`` dicts as ``simulate(backend="scalar")``,
+  case for case;
+* the batch trace builder reproduces the walker's access stream pair for
+  pair, and its binary-file round trip equals :func:`naive_trace` — the
+  independent per-leaf-enumeration oracle;
+* replaying an exported trace file (:func:`simulate_trace`) matches the
+  in-memory simulation on both backends.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.iteration import Walker
+from repro.sim import (
+    collect_walker_trace,
+    naive_trace,
+    read_trace,
+    simulate,
+    simulate_trace,
+    write_trace,
+)
+from tests.harness.differential import FAMILIES, generate_cases
+
+pytest.importorskip("numpy", reason="the batch simulator needs NumPy")
+
+#: 30 cases per family — 210 total, same pool as the backend sweep.
+CASE_COUNT = 30 * len(FAMILIES)
+
+_cases = None
+
+
+def all_cases():
+    global _cases
+    if _cases is None:
+        _cases = generate_cases(CASE_COUNT)
+    return _cases
+
+
+def test_sim_reports_bit_identical():
+    failures = []
+    for case in all_cases():
+        nprog, layout = case.prepared()
+        scalar = simulate(nprog, layout, case.cache, backend="scalar")
+        batch = simulate(nprog, layout, case.cache, backend="numpy")
+        if batch.accesses != scalar.accesses:
+            failures.append(f"{case.name}: access tallies diverge")
+        if batch.misses != scalar.misses:
+            failures.append(f"{case.name}: miss tallies diverge")
+    assert not failures, "\n".join(failures[:20])
+
+
+def test_trace_arrays_match_walker_stream():
+    # One case per family covers both trace builders (the guarded
+    # families use the lex-sort path, the rest the rectangular one).
+    from repro.sim import batch
+
+    for case in all_cases()[: 2 * len(FAMILIES)]:
+        nprog, layout = case.prepared()
+        walker = Walker(nprog, layout)
+        uids, addrs = batch.trace_arrays(nprog, layout, walker)
+        assert (
+            list(zip(uids.tolist(), addrs.tolist()))
+            == collect_walker_trace(walker)
+        ), f"{case.name}: batch trace diverges from the walker stream"
+
+
+def test_exported_trace_round_trips_to_naive_trace(tmp_path):
+    # naive_trace enumerates per leaf and sorts — a fully independent
+    # oracle for the order the binary file must replay in.
+    for k, case in enumerate(all_cases()[:: len(FAMILIES) * 3]):
+        nprog, layout = case.prepared()
+        path = tmp_path / f"case{k}.trace"
+        write_trace(path, collect_walker_trace(Walker(nprog, layout)))
+        assert read_trace(path) == [
+            (e.ref_uid, e.address) for e in naive_trace(nprog, layout)
+        ], f"{case.name}: exported trace != naive_trace"
+
+
+@pytest.mark.parametrize("backend", ["scalar", "numpy"])
+def test_trace_file_replay_matches_simulation(tmp_path, backend):
+    for k, case in enumerate(all_cases()[7 :: len(FAMILIES) * 5]):
+        nprog, layout = case.prepared()
+        path = tmp_path / f"case{k}.trace"
+        write_trace(path, collect_walker_trace(Walker(nprog, layout)))
+        replayed = simulate_trace(
+            path, case.cache, refs=nprog.refs, backend=backend
+        )
+        direct = simulate(nprog, layout, case.cache, backend=backend)
+        assert replayed.accesses == direct.accesses, case.name
+        assert replayed.misses == direct.misses, case.name

@@ -185,3 +185,131 @@ class TestSimulateKnownCounts:
         r1 = simulate(nprog, layout, CacheConfig.kb(32, 32, 1), walker=walker)
         r2 = simulate(nprog, layout, CacheConfig.kb(32, 32, 1), walker=walker)
         assert r1.total_misses == r2.total_misses
+
+
+class TestBackendSelection:
+    """The simulator's resolve/degrade backend contract (ISSUE 6)."""
+
+    def _scan(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (64,))
+        with pb.subroutine("MAIN"):
+            with pb.do("T", 1, 2):
+                with pb.do("I", 1, 64) as i:
+                    pb.assign(a[i])
+        return analyse_ready(pb)
+
+    def test_unknown_backend_rejected(self):
+        from repro.errors import ReproError
+
+        nprog, layout = self._scan()
+        with pytest.raises(ReproError, match="unknown"):
+            simulate(nprog, layout, CacheConfig.kb(1, 32, 1), backend="torch")
+
+    def test_backends_agree_and_auto_resolves(self):
+        nprog, layout = self._scan()
+        cache = CacheConfig.kb(1, 32, 2)
+        scalar = simulate(nprog, layout, cache, backend="scalar")
+        auto = simulate(nprog, layout, cache)
+        explicit = simulate(nprog, layout, cache, backend="numpy")
+        assert scalar.accesses == auto.accesses == explicit.accesses
+        assert scalar.misses == auto.misses == explicit.misses
+
+    def test_numpy_request_degrades_without_numpy(self, monkeypatch):
+        import repro.cme.backend as backend_mod
+
+        monkeypatch.setattr(backend_mod, "numpy_available", lambda: False)
+        nprog, layout = self._scan()
+        report = simulate(
+            nprog, layout, CacheConfig.kb(1, 32, 2), backend="numpy"
+        )
+        assert report.total_accesses == 128  # scalar walker ran
+
+    def test_oversized_trace_falls_back_to_scalar(self, monkeypatch):
+        pytest.importorskip("numpy")
+        import repro.sim.batch as batch_mod
+
+        monkeypatch.setattr(batch_mod, "MAX_TRACE_ACCESSES", 10)
+        nprog, layout = self._scan()
+        report = simulate(
+            nprog, layout, CacheConfig.kb(1, 32, 2), backend="numpy"
+        )
+        assert report.total_accesses == 128
+
+    @pytest.mark.parametrize("backend", ["scalar", "numpy"])
+    def test_sweep_matches_per_cache_simulate(self, backend):
+        if backend == "numpy":
+            pytest.importorskip("numpy")
+        from repro.sim import simulate_sweep
+
+        nprog, layout = self._scan()
+        caches = [
+            CacheConfig.kb(1, 32, 1),
+            CacheConfig.kb(1, 32, 2),
+            CacheConfig.kb(1, 16, 4),  # different line size in one sweep
+        ]
+        reports = simulate_sweep(nprog, layout, caches, backend=backend)
+        assert [r.cache for r in reports] == caches
+        for cache, swept in zip(caches, reports):
+            direct = simulate(nprog, layout, cache, backend=backend)
+            assert swept.accesses == direct.accesses
+            assert swept.misses == direct.misses
+
+    def test_sweep_of_nothing_is_empty(self):
+        from repro.sim import simulate_sweep
+
+        nprog, layout = self._scan()
+        assert simulate_sweep(nprog, layout, []) == []
+
+
+class TestSimulateTrace:
+    """Replaying explicit traces, and the uid-mismatch invariant."""
+
+    def _prog(self):
+        pb = ProgramBuilder("P")
+        a = pb.array("A", (16,))
+        with pb.subroutine("MAIN"):
+            with pb.do("I", 1, 16) as i:
+                pb.assign(a[i])
+        return analyse_ready(pb)
+
+    @pytest.mark.parametrize("backend", ["scalar", "numpy"])
+    def test_unknown_uid_raises_invariant_error(self, backend):
+        """Regression: unknown trace uids used to be silently dropped from
+        the tallies, skewing every aggregate ratio."""
+        from repro.errors import InvariantError
+        from repro.sim import simulate_trace
+
+        if backend == "numpy":
+            pytest.importorskip("numpy")
+        nprog, _ = self._prog()
+        trace = [(0, 0), (7, 64)]  # uid 7 does not exist in the program
+        with pytest.raises(InvariantError, match="uid 7"):
+            simulate_trace(
+                trace, CacheConfig.kb(1, 32, 1), refs=nprog.refs, backend=backend
+            )
+
+    @pytest.mark.parametrize("backend", ["scalar", "numpy"])
+    def test_refs_prefill_zero_tallies(self, backend):
+        from repro.sim import simulate_trace
+
+        if backend == "numpy":
+            pytest.importorskip("numpy")
+        nprog, _ = self._prog()
+        report = simulate_trace(
+            [], CacheConfig.kb(1, 32, 1), refs=nprog.refs, backend=backend
+        )
+        assert report.accesses == {r.uid: 0 for r in nprog.refs}
+        assert report.misses == {r.uid: 0 for r in nprog.refs}
+        assert report.miss_ratio == 0.0
+
+    @pytest.mark.parametrize("backend", ["scalar", "numpy"])
+    def test_without_refs_tallies_by_trace_uid(self, backend):
+        from repro.sim import simulate_trace
+
+        if backend == "numpy":
+            pytest.importorskip("numpy")
+        trace = [(3, 0), (3, 0), (9, 32)]
+        report = simulate_trace(trace, CacheConfig.kb(1, 32, 1), backend=backend)
+        assert report.accesses == {3: 2, 9: 1}
+        assert report.misses == {3: 1, 9: 1}

@@ -163,3 +163,67 @@ class TestObservabilityFlags:
         for name in ("cme.points.classified", "polyhedra.intsolve.calls",
                      "cme.points.cold", "cme.points.hit"):
             assert p[name] == s[name], name
+
+
+class TestSimBackendFlag:
+    def test_sim_backends_print_identical_results(self, capsys):
+        argv = ["simulate", "hydro", "--size", "16", "--cache", "2:32:2"]
+        assert main(argv + ["--sim-backend", "scalar"]) == 0
+        scalar = capsys.readouterr().out
+        assert main(argv + ["--sim-backend", "numpy"]) == 0
+        numpy_out = capsys.readouterr().out
+        assert "miss ratio" in scalar
+        # Identical up to the timing figure at the end of the line.
+        assert scalar.split("accesses")[0] == numpy_out.split("accesses")[0]
+
+
+class TestTraceVerbs:
+    def test_export_then_simulate_matches_direct_simulation(
+        self, tmp_path, capsys
+    ):
+        trace = tmp_path / "hydro.trace"
+        rc = main(
+            ["trace", "export", "hydro", "--size", "16", "-o", str(trace)]
+        )
+        assert rc == 0
+        assert "exported" in capsys.readouterr().out
+        from repro.sim.tracefile import HEADER, MAGIC
+
+        header = trace.read_bytes()[: HEADER.size]
+        assert header[:4] == MAGIC
+
+        for backend in ("scalar", "numpy"):
+            rc = main(
+                ["trace", "simulate", str(trace), "--cache", "2:32:2",
+                 "--sim-backend", backend]
+            )
+            assert rc == 0
+            replayed = capsys.readouterr().out
+            assert main(
+                ["simulate", "hydro", "--size", "16", "--cache", "2:32:2"]
+            ) == 0
+            direct = capsys.readouterr().out
+            assert (
+                replayed.split(":")[-1].split("accesses")[0]
+                == direct.split(":")[-1].split("accesses")[0]
+            )
+
+    def test_import_converts_raw_addresses(self, tmp_path, capsys):
+        raw = tmp_path / "raw.addr"
+        raw.write_bytes(bytes(range(16)))  # four 4-byte big-endian words
+        out = tmp_path / "ext.trace"
+        rc = main(["trace", "import", str(raw), "-o", str(out)])
+        assert rc == 0
+        assert "imported 4" in capsys.readouterr().out
+        from repro.sim.tracefile import read_trace
+
+        assert [a for _, a in read_trace(out)] == [
+            int.from_bytes(bytes(range(i, i + 4)), "big")
+            for i in range(0, 16, 4)
+        ]
+
+    def test_malformed_trace_exits_with_message(self, tmp_path):
+        bad = tmp_path / "bad.trace"
+        bad.write_bytes(b"junk")
+        with pytest.raises(SystemExit, match="too short"):
+            main(["trace", "simulate", str(bad), "--cache", "1:16:1"])
