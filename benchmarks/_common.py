@@ -8,23 +8,64 @@ suite runs in minutes; the paper's sizes are noted in each module.
 
 Machine-readable summaries (:func:`emit_json`) are additionally mirrored to
 top-level ``BENCH_<name>.json`` files at the repository root — the perf
-trajectory successive PRs diff against.
+trajectory successive PRs diff against — and every :func:`emit_json` call
+appends a ``repro.ledger/v1`` row (label ``bench:<name>``) to
+``benchmarks/results/ledger.jsonl``, so local benchmark runs accumulate the
+history that ``repro-cache perf check``/``perf report`` consume.  Set
+``REPRO_BENCH_LEDGER`` to redirect the ledger (CI points it at a throwaway
+file) or to ``0``/empty to disable it.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Callable
+import sys
+from typing import Callable, Optional
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+#: Default JSON-lines run ledger shared by all benchmarks.
+LEDGER_PATH = os.path.join(RESULTS_DIR, "ledger.jsonl")
+
+
+def _ledger_path() -> Optional[str]:
+    override = os.environ.get("REPRO_BENCH_LEDGER")
+    if override is None:
+        return LEDGER_PATH
+    if override in ("", "0"):
+        return None
+    return override
+
 
 def once(benchmark, fn: Callable):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def timed_once(benchmark, fn: Callable):
+    """Like :func:`once`, also returning the measured wall seconds.
+
+    The ``(result, seconds)`` pair feeds :func:`emit_json`'s ledger row, so
+    benchmarks record their own end-to-end timing without reaching into
+    pytest-benchmark internals.
+    """
+    from time import perf_counter
+
+    box: dict = {}
+
+    def wrapped():
+        started = perf_counter()
+        result = fn()
+        box["seconds"] = perf_counter() - started
+        return result
+
+    result = benchmark.pedantic(wrapped, rounds=1, iterations=1)
+    return result, box["seconds"]
 
 
 def emit(name: str, text: str) -> str:
@@ -37,10 +78,23 @@ def emit(name: str, text: str) -> str:
     return path
 
 
-def emit_json(name: str, document: dict) -> str:
+def emit_json(
+    name: str,
+    document: dict,
+    wall_seconds: Optional[float] = None,
+    config: Optional[dict] = None,
+) -> str:
     """Persist a machine-readable document (the ``BENCH_*.json`` trajectory
     files future PRs diff against) under ``benchmarks/results``, mirrored
-    to ``BENCH_<name>.json`` at the repository root."""
+    to ``BENCH_<name>.json`` at the repository root.
+
+    Every call also appends a ``repro.ledger/v1`` row (label
+    ``bench:<name>``) to the shared benchmark ledger; ``wall_seconds`` is
+    the benchmark's own end-to-end timing (falls back to a
+    ``"wall_seconds"``/``"elapsed_seconds"`` key of ``document``) and
+    ``config`` records the knobs that identify the run (problem sizes,
+    cache geometry, ...) so ledger history restarts when they change.
+    """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.json")
     text = json.dumps(document, indent=2, sort_keys=True) + "\n"
@@ -53,4 +107,31 @@ def emit_json(name: str, document: dict) -> str:
     with open(mirror, "w") as fh:
         fh.write(text)
     print(f"\n[{name}] written to {path} (mirrored to {mirror})")
+    _append_ledger_row(stem, document, wall_seconds, config)
     return path
+
+
+def _append_ledger_row(
+    stem: str,
+    document: dict,
+    wall_seconds: Optional[float],
+    config: Optional[dict],
+) -> None:
+    ledger_path = _ledger_path()
+    if ledger_path is None:
+        return
+    from repro.obs import ledger
+
+    if wall_seconds is None:
+        wall_seconds = document.get("wall_seconds") or document.get(
+            "elapsed_seconds"
+        )
+    row = ledger.build_row(
+        f"bench:{stem}",
+        config=config or {},
+        wall_seconds=wall_seconds,
+        phases={},
+        counters={},
+    )
+    ledger.append_row(ledger_path, row)
+    print(f"[{stem}] ledger row {row['run_id']} appended to {ledger_path}")

@@ -9,7 +9,7 @@ every ablated configuration must sit at or above the simulator's count.
 import sys
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import emit, once
+from _common import emit, emit_json, timed_once
 
 from repro import CacheConfig, ReuseOptions, analyze, prepare, run_simulation
 from repro.kernels import build_hydro
@@ -42,13 +42,23 @@ def compute_rows():
 
 
 def test_ablation_reuse_families(benchmark):
-    rows = once(benchmark, compute_rows)
+    rows, seconds = timed_once(benchmark, compute_rows)
     text = format_table(
         ["Configuration", "#misses", "Miss %", "Over-est (pp)"],
         rows,
         title="Reuse-vector ablation — Hydro 24x24, 4KB/32B direct",
     )
     emit("ablation_reuse", text)
+    emit_json(
+        "ablation_reuse",
+        {
+            "wall_seconds": seconds,
+            "rows": [
+                dict(zip(("config", "misses", "miss_pct", "over_est_pp"), r))
+                for r in rows
+            ],
+        },
+    )
     sim_misses = rows[0][1]
     by_name = {r[0]: r for r in rows}
     assert by_name["full"][1] == sim_misses  # complete vectors -> exact

@@ -16,7 +16,7 @@ import sys
 import time
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import emit, emit_json, once
+from _common import emit, emit_json, once, timed_once
 
 from repro import CacheConfig, analyze, prepare
 from repro.report import format_table
@@ -70,7 +70,7 @@ def compute_rows():
 
 
 def test_backend_speedup(benchmark):
-    rows = once(benchmark, compute_rows)
+    rows, seconds = timed_once(benchmark, compute_rows)
     emit(
         "backend_speedup",
         format_table(
@@ -95,6 +95,7 @@ def test_backend_speedup(benchmark):
     emit_json(
         "backend",
         {
+            "wall_seconds": seconds,
             "bench": "backend_speedup",
             "cache": CACHE.describe(),
             "method": "find",

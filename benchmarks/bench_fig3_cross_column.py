@@ -12,7 +12,7 @@ column boundary.
 import sys
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import emit, once
+from _common import emit, emit_json, timed_once
 
 from repro import CacheConfig, ReuseOptions, analyze, prepare, run_simulation
 from repro.ir import ProgramBuilder
@@ -46,7 +46,7 @@ def compute():
 
 
 def test_fig3_cross_column_reuse(benchmark):
-    sim, full, ablated = once(benchmark, compute)
+    (sim, full, ablated), seconds = timed_once(benchmark, compute)
     rows = [
         ("simulator", sim.total_misses, sim.miss_ratio_percent),
         ("FindMisses (with cross-column)", int(full.total_misses), full.miss_ratio_percent),
@@ -61,6 +61,16 @@ def test_fig3_cross_column_reuse(benchmark):
         ),
     )
     emit("fig3", text)
+    emit_json(
+        "fig3",
+        {
+            "wall_seconds": seconds,
+            "sim_misses": sim.total_misses,
+            "full_misses": int(full.total_misses),
+            "ablated_misses": int(ablated.total_misses),
+        },
+        config={"n": N},
+    )
     assert full.total_misses == sim.total_misses
     # Without the Fig. 3 vectors the boundary lines are misclassified as cold.
     assert ablated.total_misses > full.total_misses

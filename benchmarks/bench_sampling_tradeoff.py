@@ -9,7 +9,7 @@ working: looser intervals analyse fewer points and run faster.
 import sys
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import emit, once
+from _common import emit, emit_json, timed_once
 
 from repro import CacheConfig, analyze, prepare, run_simulation
 from repro.report import format_table
@@ -43,13 +43,29 @@ def compute_rows():
 
 
 def test_sampling_tradeoff(benchmark):
-    rows = once(benchmark, compute_rows)
+    rows, seconds = timed_once(benchmark, compute_rows)
     text = format_table(
         ["w", "Sampled points", "Mean Abs.Err", "Max Abs.Err", "Time (s)"],
         rows,
         title="Sampling (c, w) trade-off — Hydro 48x48, 8KB/32B, c=95%",
     )
     emit("sampling_tradeoff", text)
+    emit_json(
+        "sampling_tradeoff",
+        {
+            "wall_seconds": seconds,
+            "rows": [
+                dict(
+                    zip(
+                        ("width", "sampled", "mean_err", "max_err", "seconds"),
+                        r,
+                    )
+                )
+                for r in rows
+            ],
+        },
+        config={"widths": WIDTHS},
+    )
     # Tighter intervals analyse more points…
     sampled = [r[1] for r in rows]
     assert sampled == sorted(sampled)

@@ -24,7 +24,7 @@ import sys
 import time
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import emit, emit_json, once
+from _common import emit, emit_json, once, timed_once
 
 import pytest
 
@@ -116,7 +116,7 @@ def compute_rows():
 
 
 def test_sim_speedup(benchmark):
-    rows, info_rows = once(benchmark, compute_rows)
+    (rows, info_rows), seconds = timed_once(benchmark, compute_rows)
     table = format_table(
         ["Program", "Accesses", "Scalar t(s)", "Batch t(s)", "Speedup"],
         [
@@ -143,6 +143,7 @@ def test_sim_speedup(benchmark):
     emit_json(
         "BENCH_sim",
         {
+            "wall_seconds": seconds,
             "description": (
                 "Whole-sweep FindMisses-validation speedup: 3-assoc Table 6 "
                 "sweep via the scalar walker vs one trace build + 3 "

@@ -11,7 +11,7 @@ shape; the measured analysis/simulation time ratio must grow with it.
 import sys
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import emit, emit_json, once
+from _common import emit, emit_json, once, timed_once
 
 from repro import CacheConfig, analyze, obs, prepare, run_simulation
 from repro.obs.export import top_counters, validate_snapshot
@@ -113,7 +113,8 @@ def test_pipeline_metrics(benchmark):
     This is the perf-trajectory anchor — future PRs compare their phase
     breakdown against this file to show where an optimisation moved time.
     """
-    doc = once(benchmark, compute_pipeline_metrics)
+    doc, seconds = timed_once(benchmark, compute_pipeline_metrics)
+    doc["wall_seconds"] = seconds
     emit_json("BENCH_pipeline", doc)
     phase_names = {p["name"] for p in doc["phases"]}
     assert {"prepare/normalise", "prepare/layout", "reuse/build_table",

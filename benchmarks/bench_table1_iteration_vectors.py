@@ -7,7 +7,7 @@ normalised (Fig. 2) and the iteration-vector labels of Table 1 are printed.
 import sys
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import emit, once
+from _common import emit, emit_json, timed_once
 
 from repro.ir import ProgramBuilder
 from repro.normalize import normalize
@@ -41,7 +41,7 @@ def figure1_program():
 
 def test_table1_iteration_vectors(benchmark):
     program = figure1_program()
-    nprog = once(benchmark, lambda: normalize(program.main))
+    nprog, seconds = timed_once(benchmark, lambda: normalize(program.main))
     rows = []
     for leaf in nprog.leaves:
         l1, l2 = leaf.label
@@ -57,6 +57,11 @@ def test_table1_iteration_vectors(benchmark):
         title="Table 1 — paper",
     )
     emit("table1", paper + "\n\n" + text)
+    emit_json(
+        "table1",
+        {"wall_seconds": seconds, "vectors": dict(rows)},
+        config={"n": N},
+    )
     # Shape check against the paper's labels
     by_stmt = dict(rows)
     assert by_stmt["S1"] == by_stmt["S2"] == "(1, I1, 1, I2)"

@@ -10,7 +10,7 @@ qualitative one — the large majority of calls are analysable.
 import sys
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import emit, once
+from _common import emit, emit_json, timed_once
 
 from repro.inline import classify_program
 from repro.ir import ProgramBuilder
@@ -63,7 +63,9 @@ def corpus():
 
 def test_table2_call_classification(benchmark):
     programs = corpus()
-    stats = once(benchmark, lambda: [classify_program(p) for p in programs])
+    stats, seconds = timed_once(
+        benchmark, lambda: [classify_program(p) for p in programs]
+    )
     rows = [s.as_row() for s in stats]
     totals = (
         "TOTAL",
@@ -88,6 +90,20 @@ def test_table2_call_classification(benchmark):
         f"({PAPER_TOTALS['pct_analysable']}%)"
     )
     emit("table2", paper + "\n\n" + text)
+    emit_json(
+        "table2",
+        {
+            "wall_seconds": seconds,
+            "totals": {
+                "p_able": totals[1],
+                "r_able": totals[2],
+                "n_able": totals[3],
+                "calls": totals[4],
+                "a_able": totals[5],
+            },
+        },
+        config={"programs": len(programs)},
+    )
     # The qualitative claim: a large majority of calls are analysable.
     assert totals[5] / totals[4] > 0.8
     # Every classification row is exercised by the corpus.

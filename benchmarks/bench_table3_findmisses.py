@@ -16,7 +16,7 @@ import sys
 import time
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import emit, once
+from _common import emit, emit_json, once, timed_once
 
 from repro import CacheConfig, Memoizer, analyze, prepare, run_simulation
 from repro.kernels import build_hydro, build_mgrid, build_mmt
@@ -75,7 +75,7 @@ def compute_rows():
 
 
 def test_table3_findmisses_vs_simulator(benchmark):
-    rows, exactness = once(benchmark, compute_rows)
+    (rows, exactness), seconds = timed_once(benchmark, compute_rows)
     paper = format_table(
         ["Program", "Cache", "Sim #miss", "Find #miss", "Sim %", "Find %", "Abs.Err"],
         [r[:7] for r in PAPER_TABLE3],
@@ -96,6 +96,22 @@ def test_table3_findmisses_vs_simulator(benchmark):
         title=f"Table 3 — measured ({CACHE_KB}KB/32B, scaled sizes)",
     )
     emit("table3", paper + "\n\n" + measured)
+    emit_json(
+        "table3",
+        {
+            "wall_seconds": seconds,
+            "rows": [
+                {
+                    "program": r[0],
+                    "cache": r[1],
+                    "abs_err": r[6],
+                    "find_seconds": r[7],
+                }
+                for r in rows
+            ],
+        },
+        config={"cache_kb": CACHE_KB},
+    )
     for name, expect_exact, sim_misses, find_misses in exactness:
         if expect_exact:
             assert find_misses == sim_misses, f"{name} should match exactly"

@@ -10,7 +10,7 @@ fixed by (c, w), not by the problem size).
 import sys
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import emit, once
+from _common import emit, emit_json, timed_once
 
 from repro import CacheConfig, analyze, prepare, run_simulation
 from repro.report import assoc_label, format_table
@@ -61,7 +61,7 @@ def compute_rows():
 
 
 def test_table4_estimatemisses(benchmark):
-    rows = once(benchmark, compute_rows)
+    rows, seconds = timed_once(benchmark, compute_rows)
     paper = format_table(
         ["Program", "Cache", "Abs.Err", "Time (s)"],
         PAPER_TABLE4,
@@ -82,6 +82,23 @@ def test_table4_estimatemisses(benchmark):
         title=f"Table 4 — measured ({CACHE_KB}KB/32B, scaled sizes, c=95%, w=0.05)",
     )
     emit("table4", paper + "\n\n" + measured)
+    emit_json(
+        "table4",
+        {
+            "wall_seconds": seconds,
+            "rows": [
+                {
+                    "program": r[0],
+                    "cache": r[1],
+                    "abs_err": r[4],
+                    "analyze_seconds": r[5],
+                    "sampled_points": r[6],
+                }
+                for r in rows
+            ],
+        },
+        config={"cache_kb": CACHE_KB},
+    )
     # Shape: small absolute error, and far fewer points analysed than the
     # trace contains (the sampling speedup mechanism).
     for row in rows:

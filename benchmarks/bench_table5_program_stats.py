@@ -10,7 +10,7 @@ and call statements.
 import sys
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import emit, once
+from _common import emit, emit_json, timed_once
 
 from repro import program_stats
 from repro.programs import build_applu_like, build_swim_like, build_tomcatv_like
@@ -33,7 +33,7 @@ def compute_rows():
 
 
 def test_table5_program_stats(benchmark):
-    rows = once(benchmark, compute_rows)
+    rows, seconds = timed_once(benchmark, compute_rows)
     paper = format_table(
         ["Program", "#lines", "#subroutines", "#calls", "#references"],
         PAPER_TABLE5,
@@ -45,6 +45,13 @@ def test_table5_program_stats(benchmark):
         title="Table 5 — measured (structural miniatures)",
     )
     emit("table5", paper + "\n\n" + measured)
+    emit_json(
+        "table5",
+        {
+            "wall_seconds": seconds,
+            "rows": [dict(zip(("program", "lines", "subroutines", "calls", "references"), r)) for r in rows],
+        },
+    )
     by_name = {r[0]: r for r in rows}
     tomcatv = by_name["TOMCATV-LIKE"]
     swim = by_name["SWIM-LIKE"]

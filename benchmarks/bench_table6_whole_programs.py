@@ -15,7 +15,7 @@ import sys
 import time
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import emit, once
+from _common import emit, emit_json, once, timed_once
 
 from repro import CacheConfig, Memoizer, analyze, prepare, run_simulation
 from repro.programs import build_applu_like, build_swim_like, build_tomcatv_like
@@ -65,7 +65,7 @@ def compute_rows():
 
 
 def test_table6_whole_programs(benchmark):
-    rows = once(benchmark, compute_rows)
+    rows, seconds = timed_once(benchmark, compute_rows)
     paper = format_table(
         ["Program", "Cache", "Sim %", "E.M %", "Abs.Err", "Exe.T(s)", "Sim.T(s)"],
         PAPER_TABLE6,
@@ -77,6 +77,23 @@ def test_table6_whole_programs(benchmark):
         title=f"Table 6 — measured ({CACHE_KB}KB/32B, miniature programs)",
     )
     emit("table6", paper + "\n\n" + measured)
+    emit_json(
+        "table6",
+        {
+            "wall_seconds": seconds,
+            "rows": [
+                {
+                    "program": r[0],
+                    "cache": r[1],
+                    "abs_err": r[4],
+                    "analyze_seconds": r[5],
+                    "sim_seconds": r[6],
+                }
+                for r in rows
+            ],
+        },
+        config={"cache_kb": CACHE_KB},
+    )
     for row in rows:
         assert row[4] < 3.0, f"absolute error too large for {row[0]} {row[1]}"
 

@@ -14,7 +14,7 @@ occurring at large Ls.
 import sys
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import emit, once
+from _common import emit, emit_json, timed_once
 
 from repro import CacheConfig, analyze, prepare, run_simulation
 from repro.baselines import probabilistic_misses
@@ -99,7 +99,7 @@ def compute_rows():
 
 
 def test_table7_probabilistic_comparison(benchmark):
-    rows = once(benchmark, compute_rows)
+    rows, seconds = timed_once(benchmark, compute_rows)
     paper = format_table(
         ["N", "BJ", "BK", "Cs(KB)", "Ls", "k", "dP", "dE"],
         PAPER_TABLE7,
@@ -111,6 +111,17 @@ def test_table7_probabilistic_comparison(benchmark):
         title=f"Table 7 — measured (scaled x1/{SCALE}, our PME-style baseline)",
     )
     emit("table7", paper + "\n\n" + measured)
+    emit_json(
+        "table7",
+        {
+            "wall_seconds": seconds,
+            "wins": sum(1 for r in rows if r[7] <= r[6]),
+            "configs": len(rows),
+            "worst_dp": max(r[6] for r in rows),
+            "worst_de": max(r[7] for r in rows),
+        },
+        config={"scale": SCALE},
+    )
     wins = sum(1 for r in rows if r[7] <= r[6])
     assert wins >= len(rows) - 2, "EstimateMisses must win (almost) everywhere"
     # The probabilistic model's worst cases sit at the larger line sizes.

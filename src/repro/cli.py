@@ -10,6 +10,9 @@ Examples::
     repro-cache trace export swim --size 40 -o swim.trace
     repro-cache trace simulate swim.trace --cache 4:32:2
     repro-cache trace import raw.addr --word-bytes 4 --byteorder big -o ext.trace
+    repro-cache analyze hydro --jobs 4 --timeline-out t.json --ledger-out runs.jsonl
+    repro-cache perf check runs.jsonl --threshold 1.5
+    repro-cache perf report runs.jsonl -o perf_report.html
 
 Cache specifications are ``SIZE_KB:LINE_BYTES:ASSOC``.
 
@@ -19,10 +22,23 @@ Observability flags (accepted by every subcommand):
 * ``--metrics-out PATH`` — write the ``repro.metrics/v1`` JSON document to
   ``PATH`` (``-`` writes it to stdout and moves all human output to stderr,
   so stdout stays machine-readable);
+* ``--timeline-out PATH`` — write the run's span events as Chrome
+  trace-event JSON (loadable in Perfetto / ``chrome://tracing``); with
+  ``--jobs N`` each worker process renders as its own lane;
+* ``--ledger-out PATH`` — append one ``repro.ledger/v1`` row (phase wall
+  times, peak RSS, counters, code fingerprint) to the run ledger at
+  ``PATH`` — the history ``perf check`` and ``perf report`` read;
 * ``--profile-out PATH`` — collect ``cProfile`` stats (binary ``pstats``
   format); ``--profile-span NAME`` narrows collection to one span;
+* ``--mem-profile`` — trace allocations with ``tracemalloc`` and print
+  the top allocation sites on stderr;
 * ``--quiet`` — silence diagnostics (the ``repro`` logger) so only the
   final table is printed.
+
+The ``perf`` verbs close the loop: ``perf check`` statistically compares
+the latest run of each benchmark key against its ledger history (min-of-k
+baseline, configurable threshold) and exits non-zero on regression;
+``perf report`` renders the ledger as a self-contained HTML dashboard.
 
 Memoization flags (``analyze`` and ``compare``):
 
@@ -191,10 +207,31 @@ def _add_obs_args(sub: argparse.ArgumentParser) -> None:
         "('-' = stdout; human output then moves to stderr)",
     )
     sub.add_argument(
+        "--timeline-out",
+        metavar="PATH",
+        default=None,
+        help="write the run's span events as Chrome trace-event JSON "
+        "(open in Perfetto or chrome://tracing; --jobs N workers get "
+        "their own lanes)",
+    )
+    sub.add_argument(
+        "--ledger-out",
+        metavar="PATH",
+        default=None,
+        help="append a repro.ledger/v1 row (phase times, peak RSS, "
+        "counters) for this run to the JSON-lines ledger at PATH",
+    )
+    sub.add_argument(
         "--profile-out",
         metavar="PATH",
         default=None,
         help="collect cProfile stats and dump them (pstats format) to PATH",
+    )
+    sub.add_argument(
+        "--mem-profile",
+        action="store_true",
+        help="trace allocations with tracemalloc; print the top sites "
+        "on stderr",
     )
     sub.add_argument(
         "--profile-span",
@@ -400,6 +437,43 @@ def _cmd_trace(args, echo: Callable[[str], None]) -> int:
         raise SystemExit(str(exc))
 
 
+def _cmd_perf(args, echo: Callable[[str], None]) -> int:
+    """The ``perf`` verbs: regression check and HTML report of the ledger."""
+    from repro.obs import regress
+    from repro.obs.ledger import read_ledger
+
+    if args.perf_command == "check":
+        results = regress.check_ledger(
+            args.ledger,
+            current_path=args.current,
+            threshold=args.threshold,
+            hard_threshold=args.hard_threshold,
+            confidence=args.confidence,
+            baseline_k=args.baseline_k,
+        )
+        if not results:
+            log.info("perf check: no rows to check in %s", args.ledger)
+        for result in results:
+            echo(result.describe())
+        rc = regress.exit_code(results, warn_only=args.warn_only)
+        checked = sum(1 for r in results if r.status in ("ok", "regression"))
+        regressed = sum(1 for r in results if r.regressed)
+        echo(
+            f"perf check: {checked} run(s) checked, {regressed} "
+            f"regression(s) -> {'FAIL' if rc else 'ok'}"
+        )
+        return rc
+
+    rows = read_ledger(args.ledger)
+    from repro.obs.htmlreport import write_report
+
+    write_report(args.output, rows, title=args.title)
+    log.info(
+        "perf report: %d ledger row(s) rendered to %s", len(rows), args.output
+    )
+    return 0
+
+
 # -- observability plumbing ----------------------------------------------------
 
 
@@ -429,6 +503,61 @@ def _emit_metrics(path: str) -> None:
         with open(path, "w") as fh:
             fh.write(text + "\n")
         log.info("metrics written to %s", path)
+
+
+def _emit_timeline(path: str) -> None:
+    """Write the recorded span events as Chrome trace-event JSON."""
+    from repro.obs.timeline import write_chrome_trace
+
+    count = write_chrome_trace(path, obs.timeline_events())
+    log.info("timeline (%d span event(s)) written to %s", count, path)
+
+
+def _ledger_config(args) -> dict:
+    """The solver/backend knobs that identify a run in the ledger.
+
+    Only knobs the subcommand actually has are recorded, so rows key
+    stably per command shape.
+    """
+    config = {"command": args.command}
+    for knob in (
+        "method",
+        "backend",
+        "sim_backend",
+        "jobs",
+        "size",
+        "steps",
+        "confidence",
+        "width",
+        "seed",
+    ):
+        value = getattr(args, knob, None)
+        if value is not None:
+            config[knob] = value
+    return config
+
+
+def _append_ledger(args, wall_seconds: float) -> None:
+    """Append this run's ``repro.ledger/v1`` row to ``--ledger-out``."""
+    from repro.obs import ledger
+
+    if args.command == "trace":
+        workload = getattr(args, "workload", None) or getattr(
+            args, "input", ""
+        )
+        label = f"trace-{args.trace_command}:{workload}"
+    else:
+        workload = args.workload
+        label = f"{args.command}:{workload}"
+    row = ledger.build_row(
+        label,
+        program=workload,
+        cache=getattr(args, "cache", None),
+        config=_ledger_config(args),
+        wall_seconds=wall_seconds,
+    )
+    ledger.append_row(args.ledger_out, row)
+    log.info("ledger row %s appended to %s", row["run_id"], args.ledger_out)
 
 
 def main(argv: Optional[list[str]] = None) -> int:
@@ -525,6 +654,67 @@ def main(argv: Optional[list[str]] = None) -> int:
     p_stats.add_argument("--steps", type=int, default=2)
     _add_obs_args(p_stats)
 
+    p_perf = subs.add_parser(
+        "perf", help="perf observatory: regression check and HTML report"
+    )
+    psubs = p_perf.add_subparsers(dest="perf_command", required=True)
+
+    pf_check = psubs.add_parser(
+        "check",
+        help="statistically compare the latest run(s) against ledger "
+        "history; exit non-zero on regression",
+    )
+    pf_check.add_argument("ledger", help="repro.ledger/v1 JSON-lines file")
+    pf_check.add_argument(
+        "--current",
+        metavar="PATH",
+        default=None,
+        help="check the rows of this ledger against the history in the "
+        "main one (CI: committed baseline vs throwaway run)",
+    )
+    pf_check.add_argument(
+        "--threshold",
+        type=float,
+        default=1.5,
+        help="regression ratio over the min-of-k baseline (default 1.5)",
+    )
+    pf_check.add_argument(
+        "--hard-threshold",
+        type=float,
+        default=None,
+        help="ratio at which a regression is 'hard' and fails even with "
+        "--warn-only (default: same as --threshold)",
+    )
+    pf_check.add_argument(
+        "--confidence",
+        type=float,
+        default=0.95,
+        help="confidence level of the statistical noise gate",
+    )
+    pf_check.add_argument(
+        "--baseline-k",
+        type=int,
+        default=5,
+        help="baseline = min of the last K historical runs (default 5)",
+    )
+    pf_check.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but exit non-zero only on hard ones "
+        "(noisy shared runners)",
+    )
+    _add_obs_args(pf_check)
+
+    pf_report = psubs.add_parser(
+        "report", help="render the ledger as a self-contained HTML dashboard"
+    )
+    pf_report.add_argument("ledger", help="repro.ledger/v1 JSON-lines file")
+    pf_report.add_argument(
+        "-o", "--output", default="perf_report.html", help="HTML file to write"
+    )
+    pf_report.add_argument("--title", default="repro perf report")
+    _add_obs_args(pf_report)
+
     args = parser.parse_args(argv)
 
     metrics_out = args.metrics_out
@@ -535,9 +725,19 @@ def main(argv: Optional[list[str]] = None) -> int:
     def echo(line: str = "") -> None:
         print(line, file=human_stream)
 
-    if args.trace or metrics_out or args.profile_out:
+    obs_wanted = (
+        args.trace
+        or metrics_out
+        or args.profile_out
+        or args.timeline_out
+        or args.ledger_out
+        or args.mem_profile
+    )
+    if obs_wanted:
         obs.enable()
         obs.reset()
+        if args.timeline_out:
+            obs.enable_timeline()
 
     profiler = None
     if args.profile_out:
@@ -549,21 +749,49 @@ def main(argv: Optional[list[str]] = None) -> int:
     elif args.profile_span:
         raise SystemExit("--profile-span requires --profile-out")
 
+    # Installed after the profiler so the hooks chain (both share the
+    # tracer's exit-hook slot).
+    monitor = None
+    if obs_wanted:
+        from repro.obs.resource import SpanResourceMonitor
+
+        monitor = SpanResourceMonitor()
+        monitor.install(obs.tracer())
+
+    mem_profiler = None
+    if args.mem_profile:
+        from repro.obs.resource import MemProfiler
+
+        mem_profiler = MemProfiler()
+        mem_profiler.start()
+
     commands = {
         "stats": _cmd_stats,
         "analyze": _cmd_analyze,
         "simulate": _cmd_simulate,
         "compare": _cmd_compare,
     }
+    from time import perf_counter
+
+    started = perf_counter()
     try:
         if args.command == "trace":
             rc = _cmd_trace(args, echo)
+        elif args.command == "perf":
+            rc = _cmd_perf(args, echo)
         else:
             program = _load_workload(
                 args.workload, args.size, getattr(args, "steps", 2)
             )
             rc = commands[args.command](args, program, echo)
     finally:
+        wall_seconds = perf_counter() - started
+        if mem_profiler is not None:
+            sites = mem_profiler.stop()
+            print(mem_profiler.format_sites(sites), file=sys.stderr)
+        if monitor is not None:
+            monitor.uninstall()
+            monitor.finalize()
         if profiler is not None:
             if args.profile_span:
                 profiler.uninstall(obs.tracer())
@@ -571,6 +799,10 @@ def main(argv: Optional[list[str]] = None) -> int:
             log.info("profile written to %s", args.profile_out)
         if args.trace:
             _emit_trace()
+        if args.timeline_out:
+            _emit_timeline(args.timeline_out)
+        if args.ledger_out and args.command != "perf":
+            _append_ledger(args, wall_seconds)
         if metrics_out:
             _emit_metrics(metrics_out)
     return rc

@@ -56,6 +56,7 @@ from repro.obs.export import (
     validate_snapshot,
 )
 from repro.obs.profile import SpanProfiler
+from repro.obs.timeline import TimelineRecorder
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -75,6 +76,11 @@ from repro.obs.tracer import (
 __all__ = [
     "SCHEMA",
     "SpanProfiler",
+    "TimelineRecorder",
+    "enable_timeline",
+    "timeline",
+    "timeline_enabled",
+    "timeline_events",
     "Counter",
     "Gauge",
     "Histogram",
@@ -107,6 +113,7 @@ __all__ = [
 
 _tracer: Union[Tracer, NullTracer] = NULL_TRACER
 _registry: Union[MetricsRegistry, NullRegistry] = NULL_REGISTRY
+_timeline: Union[TimelineRecorder, None] = None
 
 
 def enable() -> None:
@@ -114,21 +121,26 @@ def enable() -> None:
     global _tracer, _registry
     if isinstance(_tracer, NullTracer):
         _tracer = Tracer()
+        if _timeline is not None:
+            _tracer.timeline = _timeline
     if isinstance(_registry, NullRegistry):
         _registry = MetricsRegistry()
 
 
 def disable() -> None:
     """Switch observability off, dropping any recorded data."""
-    global _tracer, _registry
+    global _tracer, _registry, _timeline
     _tracer = NULL_TRACER
     _registry = NULL_REGISTRY
+    _timeline = None
 
 
 def reset() -> None:
     """Drop recorded data but keep the current on/off state."""
     _tracer.reset()
     _registry.reset()
+    if _timeline is not None:
+        _timeline.clear()
 
 
 def is_enabled() -> bool:
@@ -169,6 +181,40 @@ def histogram(name: str):
     return _registry.histogram(name)
 
 
+# -- timelines -----------------------------------------------------------------
+
+
+def enable_timeline() -> TimelineRecorder:
+    """Start recording individual span events (implies :func:`enable`).
+
+    Where the tracer aggregates repeated spans into tree nodes, the
+    timeline recorder keeps every entry with its start time and pid/tid —
+    the raw material of the ``--timeline-out`` Chrome-trace export.
+    Idempotent; returns the active recorder.
+    """
+    global _timeline
+    enable()
+    if _timeline is None:
+        _timeline = TimelineRecorder()
+    _tracer.timeline = _timeline
+    return _timeline
+
+
+def timeline() -> Union[TimelineRecorder, None]:
+    """The active timeline recorder (``None`` unless enabled)."""
+    return _timeline
+
+
+def timeline_enabled() -> bool:
+    """True when span events are being recorded."""
+    return _timeline is not None
+
+
+def timeline_events() -> list:
+    """A copy of the recorded span events (empty while disabled)."""
+    return _timeline.snapshot() if _timeline is not None else []
+
+
 # -- aggregate views -----------------------------------------------------------
 
 
@@ -181,8 +227,10 @@ def merge_snapshot(snap: Mapping) -> None:
     """Fold a worker-process snapshot into the live instruments.
 
     ``snap`` may be a full document from :func:`snapshot` or the partial
-    ``{"metrics": ..., "spans": ...}`` payload the parallel engine ships.
-    Spans merge **under the currently open span** of the calling thread.
+    ``{"metrics": ..., "spans": ...[, "timeline": ...]}`` payload the
+    parallel engine ships.  Spans merge **under the currently open span**
+    of the calling thread; timeline events (worker lanes) are folded into
+    the active recorder, keeping their worker pids.
     """
     metrics = snap.get("metrics")
     if metrics is None and "counters" in snap:
@@ -192,6 +240,9 @@ def merge_snapshot(snap: Mapping) -> None:
     spans = snap.get("spans")
     if spans:
         _tracer.merge(spans)
+    events = snap.get("timeline")
+    if events and _timeline is not None:
+        _timeline.extend(events)
 
 
 def render() -> str:

@@ -18,7 +18,9 @@ The JSON schema (version :data:`SCHEMA`)::
       "gauges":     {"<dotted.name>": <number>, ...},
       "histograms": {"<dotted.name>": {"count": <int>, "sum": <number>,
                                        "min": <number|null>,
-                                       "max": <number|null>}, ...},
+                                       "max": <number|null>,
+                                       "buckets": [[<bound|null>, <int>], ...]},
+                     ...},
       "spans": [{"name": <str>, "count": <int>, "seconds": <number>,
                  "children": [<span>, ...]}, ...]
     }
@@ -153,6 +155,22 @@ def validate_snapshot(doc) -> list[str]:
                         errors.append(
                             f"histograms[{name!r}].{key}: must be a number or null"
                         )
+                buckets = value.get("buckets", [])
+                if not isinstance(buckets, list):
+                    errors.append(f"histograms[{name!r}].buckets: must be a list")
+                else:
+                    for j, pair in enumerate(buckets):
+                        if (
+                            not isinstance(pair, (list, tuple))
+                            or len(pair) != 2
+                            or (pair[0] is not None and not _is_number(pair[0]))
+                            or not isinstance(pair[1], int)
+                            or isinstance(pair[1], bool)
+                        ):
+                            errors.append(
+                                f"histograms[{name!r}].buckets[{j}]: must be "
+                                "[bound|null, count]"
+                            )
     spans = doc.get("spans")
     if not isinstance(spans, list):
         errors.append("spans: must be a list")

@@ -1,0 +1,227 @@
+"""A self-contained HTML perf dashboard rendered from the run ledger.
+
+``repro-cache perf report`` turns a ``repro.ledger/v1`` file into one
+HTML document with zero dependencies and zero external assets — inline
+CSS, hand-rolled inline SVG — so it can be attached to a CI run as an
+artifact and opened anywhere:
+
+* one section per baseline key (label + program + cache + config), with
+* the **wall-time trajectory**: a line chart of every recorded run, the
+  min-of-history baseline marked, the latest point highlighted;
+* the **latest run's phase breakdown**: horizontal bars of the top-level
+  span wall times;
+* a **counter table** of the latest run (largest counters first) plus the
+  derived ratios (memo hit ratio, points/second) and peak RSS.
+"""
+
+from __future__ import annotations
+
+import html
+import time
+from typing import Optional, Sequence
+
+from repro.obs.ledger import by_key
+
+_CSS = """
+body { font: 14px/1.45 -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2em auto; max-width: 960px; color: #1a1a2e; }
+h1 { font-size: 1.5em; } h2 { font-size: 1.15em; margin-top: 2em;
+     border-bottom: 1px solid #d8d8e0; padding-bottom: 0.3em; }
+.meta { color: #667; font-size: 0.92em; }
+table { border-collapse: collapse; margin: 0.8em 0; }
+th, td { text-align: left; padding: 0.25em 1em 0.25em 0;
+         border-bottom: 1px solid #ececf2; font-variant-numeric: tabular-nums; }
+th { color: #556; font-weight: 600; }
+svg { background: #fafafc; border: 1px solid #e4e4ec; border-radius: 4px; }
+.cols { display: flex; flex-wrap: wrap; gap: 2em; align-items: flex-start; }
+"""
+
+
+def _fmt_seconds(s: Optional[float]) -> str:
+    if s is None:
+        return "—"
+    if s < 1e-3:
+        return f"{s * 1e6:.0f}µs"
+    if s < 1.0:
+        return f"{s * 1e3:.1f}ms"
+    return f"{s:.3f}s"
+
+
+def _fmt_bytes(n: Optional[float]) -> str:
+    if not n:
+        return "—"
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024:
+            return f"{n:.1f}{unit}"
+        n /= 1024
+    return f"{n:.1f}TiB"
+
+
+def _esc(s: object) -> str:
+    return html.escape(str(s))
+
+
+def _trajectory_svg(
+    walls: Sequence[float], width: int = 430, height: int = 130
+) -> str:
+    """Line chart of wall seconds per run (oldest → newest)."""
+    pad = 8
+    if not walls:
+        return ""
+    top = max(walls) or 1.0
+    n = len(walls)
+    span_x = width - 2 * pad
+    span_y = height - 2 * pad
+
+    def xy(i: int, w: float) -> tuple[float, float]:
+        x = pad + (span_x * i / max(1, n - 1))
+        y = pad + span_y * (1.0 - w / top)
+        return x, y
+
+    points = [xy(i, w) for i, w in enumerate(walls)]
+    polyline = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+    baseline = min(walls)
+    _, base_y = xy(0, baseline)
+    parts = [
+        f'<svg width="{width}" height="{height}" role="img" '
+        f'aria-label="wall-time trajectory">',
+        f'<line x1="{pad}" y1="{base_y:.1f}" x2="{width - pad}" '
+        f'y2="{base_y:.1f}" stroke="#9ab" stroke-dasharray="4 3"/>',
+    ]
+    if n > 1:
+        parts.append(
+            f'<polyline points="{polyline}" fill="none" stroke="#4057a7" '
+            'stroke-width="1.5"/>'
+        )
+    for x, y in points[:-1]:
+        parts.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="2.4" fill="#4057a7"/>')
+    lx, ly = points[-1]
+    parts.append(f'<circle cx="{lx:.1f}" cy="{ly:.1f}" r="3.4" fill="#c23b4b"/>')
+    parts.append(
+        f'<title>{n} runs — min {_fmt_seconds(baseline)}, '
+        f'latest {_fmt_seconds(walls[-1])}</title></svg>'
+    )
+    return "".join(parts)
+
+
+def _phase_bars_svg(
+    phases: dict, width: int = 430, bar: int = 17
+) -> str:
+    """Horizontal bars of the latest run's top-level phase wall times."""
+    if not phases:
+        return ""
+    items = sorted(phases.items(), key=lambda kv: -kv[1])
+    top = max(v for _, v in items) or 1.0
+    label_w, pad = 170, 4
+    height = len(items) * (bar + pad) + pad
+    parts = [
+        f'<svg width="{width}" height="{height}" role="img" '
+        f'aria-label="phase breakdown">'
+    ]
+    for i, (name, secs) in enumerate(items):
+        y = pad + i * (bar + pad)
+        w = max(1.0, (width - label_w - 70) * secs / top)
+        parts.append(
+            f'<text x="{label_w - 6}" y="{y + bar - 5}" text-anchor="end" '
+            f'font-size="11" fill="#334">{_esc(name)}</text>'
+            f'<rect x="{label_w}" y="{y}" width="{w:.1f}" height="{bar}" '
+            'fill="#5a74c4" rx="2"/>'
+            f'<text x="{label_w + w + 5:.1f}" y="{y + bar - 5}" '
+            f'font-size="11" fill="#556">{_fmt_seconds(secs)}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _counter_table(row: dict, top: int = 12) -> str:
+    counters = sorted(
+        row.get("counters", {}).items(), key=lambda kv: (-kv[1], kv[0])
+    )[:top]
+    cells = "".join(
+        f"<tr><td>{_esc(name)}</td><td>{value:,}</td></tr>"
+        for name, value in counters
+    )
+    derived = "".join(
+        f"<tr><td>{_esc(name)}</td><td>{value:,.4g}</td></tr>"
+        for name, value in sorted(row.get("derived", {}).items())
+    )
+    if not cells and not derived:
+        return "<p class='meta'>(no counters recorded)</p>"
+    return (
+        "<table><tr><th>counter</th><th>value</th></tr>"
+        + cells
+        + derived
+        + "</table>"
+    )
+
+
+def build_report(rows: list[dict], title: str = "repro perf report") -> str:
+    """Render the full dashboard HTML for a list of ledger rows."""
+    groups = by_key(rows)
+    ordered = sorted(
+        groups.items(), key=lambda kv: str(kv[1][-1].get("label", ""))
+    )
+    sections: list[str] = []
+    for key, runs in ordered:
+        latest = runs[-1]
+        walls = [
+            w
+            for w in (r.get("wall_seconds") for r in runs)
+            if w is not None
+        ]
+        head = " · ".join(
+            _esc(part)
+            for part in (
+                latest.get("label"),
+                latest.get("program"),
+                latest.get("cache"),
+            )
+            if part
+        )
+        config = ", ".join(
+            f"{_esc(k)}={_esc(v)}"
+            for k, v in sorted(latest.get("config", {}).items())
+        )
+        latest_wall = latest.get("wall_seconds")
+        sections.append(
+            f"<h2>{head}</h2>"
+            f"<p class='meta'>key {key} · {len(runs)} run(s) · "
+            f"latest {_fmt_seconds(latest_wall)}"
+            + (
+                f" · baseline {_fmt_seconds(min(walls))}"
+                if walls
+                else ""
+            )
+            + f" · peak RSS {_fmt_bytes(latest.get('peak_rss_bytes'))}"
+            + (f"<br>{config}" if config else "")
+            + "</p><div class='cols'><div>"
+            + _trajectory_svg(walls)
+            + "</div><div>"
+            + _phase_bars_svg(latest.get("phases", {}))
+            + "</div><div>"
+            + _counter_table(latest)
+            + "</div></div>"
+        )
+    stamp = time.strftime("%Y-%m-%d %H:%M:%S")
+    body = (
+        "\n".join(sections)
+        if sections
+        else "<p class='meta'>The ledger is empty.</p>"
+    )
+    return (
+        "<!doctype html><html><head><meta charset='utf-8'>"
+        f"<title>{_esc(title)}</title><style>{_CSS}</style></head><body>"
+        f"<h1>{_esc(title)}</h1>"
+        f"<p class='meta'>generated {stamp} · {len(rows)} ledger row(s) · "
+        f"{len(groups)} benchmark key(s)</p>"
+        f"{body}</body></html>\n"
+    )
+
+
+def write_report(
+    path: str, rows: list[dict], title: str = "repro perf report"
+) -> str:
+    """Write :func:`build_report` output to ``path``."""
+    with open(path, "w") as fh:
+        fh.write(build_report(rows, title=title))
+    return path

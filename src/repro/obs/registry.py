@@ -10,7 +10,11 @@ both.  Three instrument kinds cover everything the Fig. 7 pipeline needs:
   ``points``, ``misses``);
 * :class:`Gauge` — a last-write-wins value (``jobs``, configuration);
 * :class:`Histogram` — count/sum/min/max of observed values (RIS volumes,
-  UGS sizes, per-chunk worker seconds).
+  UGS sizes, per-chunk worker seconds) plus a sparse geometric bucket
+  ladder (:data:`BUCKET_BOUNDS`) feeding :meth:`Histogram.percentile`,
+  which interpolates **linearly between bucket bounds** — a naive
+  nearest-bucket readout would overstate p99 on sparse histograms by
+  snapping to the bucket's upper edge.
 
 Metric names form a stable dot-separated namespace documented in README.md
 (``polyhedra.intsolve.calls``, ``cme.points.classified``, ...); exporters
@@ -31,7 +35,22 @@ bodies.
 from __future__ import annotations
 
 import threading
+from bisect import bisect_left
 from typing import Mapping, Optional
+
+#: Upper bucket bounds of every histogram: a 1-2-5 geometric ladder from
+#: 1e-9 to 5e12, wide enough for seconds (ns..weeks) and bytes/counts
+#: (1..TB) alike.  Values above the last bound land in an overflow bucket
+#: whose effective upper edge is the observed maximum.
+BUCKET_BOUNDS: tuple[float, ...] = tuple(
+    m * 10.0**e for e in range(-9, 13) for m in (1.0, 2.0, 5.0)
+)
+
+#: Bound value → bucket index, for folding serialised buckets back in.
+_BOUND_INDEX = {bound: i for i, bound in enumerate(BUCKET_BOUNDS)}
+
+#: Index of the overflow bucket (values above the last bound).
+_OVERFLOW = len(BUCKET_BOUNDS)
 
 
 class Counter:
@@ -67,9 +86,9 @@ class Gauge:
 
 
 class Histogram:
-    """Count/sum/min/max summary of observed values."""
+    """Count/sum/min/max summary plus sparse buckets of observed values."""
 
-    __slots__ = ("name", "count", "sum", "min", "max", "_lock")
+    __slots__ = ("name", "count", "sum", "min", "max", "buckets", "_lock")
 
     def __init__(self, name: str, lock: threading.RLock):
         self.name = name
@@ -77,6 +96,9 @@ class Histogram:
         self.sum = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        #: Sparse bucket counts: index into :data:`BUCKET_BOUNDS` (or
+        #: :data:`_OVERFLOW`) → observations in ``(bounds[i-1], bounds[i]]``.
+        self.buckets: dict[int, int] = {}
         self._lock = lock
 
     def observe(self, value: float) -> None:
@@ -88,20 +110,73 @@ class Histogram:
                 self.min = value
             if self.max is None or value > self.max:
                 self.max = value
+            idx = bisect_left(BUCKET_BOUNDS, value)
+            self.buckets[idx] = self.buckets.get(idx, 0) + 1
 
     @property
     def mean(self) -> float:
         """Arithmetic mean of the observations (0.0 when empty)."""
         return self.sum / self.count if self.count else 0.0
 
+    def percentile(self, p: float) -> Optional[float]:
+        """The ``p``-th percentile, interpolated linearly within buckets.
+
+        The target rank ``p/100 · count`` is located in the cumulative
+        bucket counts, then the value is interpolated linearly between the
+        bucket's lower and upper bounds — assuming observations spread
+        uniformly inside a bucket, the standard Prometheus-style estimate.
+        (A nearest-bucket readout — returning the bucket's upper edge —
+        systematically overstates high percentiles on sparse histograms,
+        by up to the full bucket width.)  The first and last occupied
+        buckets are tightened to the observed ``min``/``max``, so ``p=0``
+        and ``p=100`` are exact.  Returns ``None`` on an empty histogram.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        with self._lock:
+            if self.count == 0:
+                return None
+            rank = p / 100.0 * self.count
+            if rank <= 0.0:
+                return self.min
+            occupied = sorted(self.buckets)
+            first, last = occupied[0], occupied[-1]
+            cumulative = 0
+            for idx in occupied:
+                in_bucket = self.buckets[idx]
+                below = cumulative
+                cumulative += in_bucket
+                if cumulative < rank:
+                    continue
+                lo = 0.0 if idx == 0 else BUCKET_BOUNDS[idx - 1]
+                hi = self.max if idx == _OVERFLOW else BUCKET_BOUNDS[idx]
+                if idx == first:
+                    lo = self.min
+                if idx == last:
+                    hi = self.max
+                value = lo + (hi - lo) * (rank - below) / in_bucket
+                return min(max(value, self.min), self.max)
+            return self.max
+
     def as_dict(self) -> dict:
-        """The stable JSON form: ``{count, sum, min, max}``."""
-        return {
+        """The stable JSON form: ``{count, sum, min, max[, buckets]}``.
+
+        ``buckets`` — present only when non-empty, keeping the schema
+        additive — lists ``[upper_bound, count]`` pairs in bound order;
+        the overflow bucket serialises its bound as ``null``.
+        """
+        doc = {
             "count": self.count,
             "sum": self.sum,
             "min": self.min,
             "max": self.max,
         }
+        if self.buckets:
+            doc["buckets"] = [
+                [None if i == _OVERFLOW else BUCKET_BOUNDS[i], n]
+                for i, n in sorted(self.buckets.items())
+            ]
+        return doc
 
 
 class MetricsRegistry:
@@ -185,6 +260,9 @@ class MetricsRegistry:
                     mine.min = h["min"]
                 if mine.max is None or (h["max"] is not None and h["max"] > mine.max):
                     mine.max = h["max"]
+                for bound, n in h.get("buckets", []):
+                    idx = _OVERFLOW if bound is None else _BOUND_INDEX[bound]
+                    mine.buckets[idx] = mine.buckets.get(idx, 0) + n
 
     def reset(self) -> None:
         """Drop every instrument (a fresh, empty registry)."""
@@ -229,6 +307,9 @@ class _NullHistogram:
 
     def observe(self, value: float) -> None:
         pass
+
+    def percentile(self, p: float) -> Optional[float]:
+        return None
 
     def as_dict(self) -> dict:
         return {"count": 0, "sum": 0.0, "min": None, "max": None}

@@ -87,6 +87,11 @@ class _SpanContext:
         tracer = self._tracer
         if tracer.on_exit is not None:
             tracer.on_exit(self._name)
+        if tracer.timeline is not None:
+            # The recorder stores the *same* elapsed value the tree
+            # accumulates, so timeline durations sum to tree seconds
+            # exactly (the `--timeline-out` vs `--metrics-out` contract).
+            tracer.timeline.record(self._name, self._started, elapsed)
         node = self._node
         with tracer._lock:
             node.count += 1
@@ -113,6 +118,12 @@ class Tracer:
         #: profiling layer (:mod:`repro.obs.profile`) attaches here.
         self.on_enter: Optional[Callable[[str], None]] = None
         self.on_exit: Optional[Callable[[str], None]] = None
+        #: Optional per-span event sink — a
+        #: :class:`repro.obs.timeline.TimelineRecorder` (or anything with a
+        #: ``record(name, start, elapsed)`` method).  Unlike the aggregating
+        #: tree, the sink sees every individual span entry, which is what a
+        #: Chrome-trace timeline needs.
+        self.timeline = None
 
     def _stack(self) -> list[SpanNode]:
         local = self._local
@@ -196,6 +207,7 @@ class NullTracer:
 
     on_enter = None
     on_exit = None
+    timeline = None
 
     def span(self, name: str) -> _NullSpan:
         return NULL_SPAN

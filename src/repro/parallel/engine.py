@@ -37,6 +37,7 @@ import os
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Iterable, Optional, Sequence, TYPE_CHECKING
 
 from repro import obs
@@ -93,8 +94,9 @@ def _init_worker(payload: bytes) -> None:
     obs.disable()
 
 
-#: A solve task: ``(method, uids, confidence, width, seed, ship_obs)``.
-Task = tuple[str, tuple[int, ...], float, float, int, bool]
+#: A solve task:
+#: ``(method, uids, confidence, width, seed, ship_obs, ship_timeline)``.
+Task = tuple[str, tuple[int, ...], float, float, int, bool, bool]
 
 
 def _solve_chunk(task: Task) -> tuple[list[RefResult], float, Optional[dict]]:
@@ -104,16 +106,22 @@ def _solve_chunk(task: Task) -> tuple[list[RefResult], float, Optional[dict]]:
     ``None`` unless the task's ``ship_obs`` flag is set, in which case the
     worker-local metrics and spans recorded while solving this chunk are
     serialised and the worker-side instruments reset (so chunks never
-    double-count).
+    double-count).  ``ship_timeline`` additionally ships the individual
+    span events (with this worker's pid, so the parent's Chrome-trace
+    export renders each worker as its own lane) and the worker's peak RSS
+    (``parallel.worker_peak_rss_bytes``).
     """
     from repro.cme.estimate import estimate_ref_misses
     from repro.cme.find import find_ref_misses
+    from repro.obs.resource import peak_rss_bytes
 
-    method, uids, confidence, width, seed, ship_obs = task
+    method, uids, confidence, width, seed, ship_obs, ship_timeline = task
     assert _STATE is not None, "worker used before initialisation"
     nprog, classifier = _STATE
     if ship_obs and not obs.is_enabled():
         obs.enable()
+    if ship_timeline:
+        obs.enable_timeline()
     started = time.perf_counter()
     results: list[RefResult] = []
     for uid in uids:
@@ -129,10 +137,15 @@ def _solve_chunk(task: Task) -> tuple[list[RefResult], float, Optional[dict]]:
     solver_seconds = time.perf_counter() - started
     snap: Optional[dict] = None
     if ship_obs:
+        obs.histogram("parallel.worker_peak_rss_bytes").observe(
+            float(peak_rss_bytes())
+        )
         snap = {
             "metrics": obs.registry().snapshot(),
             "spans": obs.tracer().snapshot(),
         }
+        if ship_timeline:
+            snap["timeline"] = obs.timeline_events()
         obs.reset()
     return results, solver_seconds, snap
 
@@ -260,34 +273,51 @@ class ParallelEngine:
                 # directly, so nothing must be snapshot/reset here.
                 _load_state(self._payload)
                 results, solver, _ = _solve_chunk(
-                    (method, tuple(uids), confidence, width, seed, False)
+                    (method, tuple(uids), confidence, width, seed, False, False)
                 )
                 by_uid = {r.ref_uid: r for r in results}
                 report.solver_seconds = solver
             else:
                 pool = self._ensure_pool()
                 ship_obs = obs.is_enabled()
+                ship_timeline = obs.timeline_enabled()
                 chunks = _deal_chunks(uids, self.jobs)
                 shard_hist = obs.histogram("parallel.shard_size")
                 for chunk in chunks:
                     shard_hist.observe(len(chunk))
                 obs.counter("parallel.chunks").inc(len(chunks))
                 tasks = [
-                    (method, chunk, confidence, width, seed, ship_obs)
+                    (method, chunk, confidence, width, seed, ship_obs,
+                     ship_timeline)
                     for chunk in chunks
                 ]
                 by_uid = {}
                 solver = 0.0
                 worker_hist = obs.histogram("parallel.worker_seconds")
-                for results, chunk_seconds, snap in pool.map(
-                    _solve_chunk, tasks
-                ):
-                    solver += chunk_seconds
-                    worker_hist.observe(chunk_seconds)
-                    if snap is not None:
-                        obs.merge_snapshot(snap)
-                    for r in results:
-                        by_uid[r.ref_uid] = r
+                try:
+                    for results, chunk_seconds, snap in pool.map(
+                        _solve_chunk, tasks
+                    ):
+                        solver += chunk_seconds
+                        worker_hist.observe(chunk_seconds)
+                        if snap is not None:
+                            obs.merge_snapshot(snap)
+                        for r in results:
+                            by_uid[r.ref_uid] = r
+                except BrokenProcessPool:
+                    # A worker died mid-task (OOM-killed, crashed).  The
+                    # per-reference work is deterministic and the parent
+                    # holds the full state, so recover by re-solving the
+                    # whole shard serially — identical results, degraded
+                    # wall time, and a counter so the ledger records it.
+                    obs.counter("parallel.pool_broken").inc()
+                    self.close()
+                    _load_state(self._payload)
+                    results, solver, _ = _solve_chunk(
+                        (method, tuple(uids), confidence, width, seed,
+                         False, False)
+                    )
+                    by_uid = {r.ref_uid: r for r in results}
                 report.solver_seconds = solver
             # Reassemble in the caller's reference order: identical to serial.
             for uid in uids:

@@ -1,0 +1,68 @@
+"""The self-contained HTML perf dashboard."""
+
+from repro.obs.htmlreport import build_report, write_report
+from repro.obs.ledger import build_row
+
+
+def rows_for(label, walls, **kwargs):
+    return [
+        build_row(
+            label,
+            phases={"solve": wall * 0.8, "prep": wall * 0.2},
+            wall_seconds=wall,
+            counters={"cme.points.classified": 100},
+            **kwargs,
+        )
+        for wall in walls
+    ]
+
+
+class TestBuildReport:
+    def test_empty_ledger(self):
+        html = build_report([])
+        assert "<!doctype html>" in html
+        assert "ledger is empty" in html
+
+    def test_sections_per_baseline_key(self):
+        rows = rows_for("bench:a", [1.0, 1.1]) + rows_for("bench:b", [2.0])
+        html = build_report(rows, title="My Report")
+        assert "<title>My Report</title>" in html
+        assert "bench:a" in html
+        assert "bench:b" in html
+        assert html.count("<h2>") == 2
+        assert "2 run(s)" in html
+        assert "3 ledger row(s)" in html
+
+    def test_charts_and_counters_render(self):
+        html = build_report(rows_for("bench:a", [1.0, 1.5, 1.2]))
+        assert 'aria-label="wall-time trajectory"' in html
+        assert 'aria-label="phase breakdown"' in html
+        assert "cme.points.classified" in html
+        assert "points_per_second" in html  # derived row
+
+    def test_no_external_assets(self):
+        html = build_report(rows_for("bench:a", [1.0]))
+        assert "http://" not in html
+        assert "https://" not in html
+        assert "<script" not in html
+
+    def test_labels_are_escaped(self):
+        html = build_report(rows_for("<bench>&co", [1.0]))
+        assert "<bench>" not in html
+        assert "&lt;bench&gt;&amp;co" in html
+
+    def test_cache_and_config_shown(self):
+        html = build_report(
+            rows_for("bench:a", [1.0], cache="4KB/32B 2-way", config={"jobs": 4})
+        )
+        assert "4KB/32B 2-way" in html
+        assert "jobs=4" in html
+
+
+class TestWriteReport:
+    def test_writes_file(self, tmp_path):
+        path = str(tmp_path / "report.html")
+        assert write_report(path, rows_for("bench:a", [1.0])) == path
+        text = open(path).read()
+        assert text.startswith("<!doctype html>")
+        assert text.endswith("</html>\n")

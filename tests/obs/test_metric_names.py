@@ -1,0 +1,110 @@
+"""Schema stability of the ``repro.metrics/v1`` name namespace.
+
+The golden lists below enumerate every counter, gauge and histogram a
+fully exercised pipeline run produces — cold + warm memoized FindMisses
+(serial and ``jobs=2``), EstimateMisses, and both simulator backends on
+one pinned workload.  The exporter treats names as opaque keys, so the
+*schema* never changes when metrics are added — but dashboards, the run
+ledger and the regression checker key on the names themselves.  Renaming
+or dropping one is a breaking change; this test makes it a deliberate one
+(update the golden list in the same commit, and say so in README's
+metric-namespace table).
+"""
+
+import pytest
+
+from repro import CacheConfig, Memoizer, analyze, obs, prepare, run_simulation
+from repro.kernels import build_hydro
+
+GOLDEN_COUNTERS = {
+    "cme.backend.fallback_points",
+    "cme.backend.vectorized_points",
+    "cme.points.classified",
+    "cme.points.cold",
+    "cme.points.hit",
+    "cme.points.replacement",
+    "cme.refs.analysed",
+    "cme.sampling.draws",
+    "cme.sampling.fallbacks",
+    "cme.solver.vector_trials",
+    "memo.dedup.groups",
+    "memo.hits",
+    "memo.misses",
+    "memo.store.appended",
+    "memo.store.hits",
+    "memo.store.loaded",
+    "parallel.chunks",
+    "polyhedra.intsolve.calls",
+    "polyhedra.intsolve.solutions",
+    "polyhedra.nullspace.calls",
+    "reuse.ugs.count",
+    "reuse.vectors.cross_column",
+    "reuse.vectors.spatial_group",
+    "reuse.vectors.spatial_self",
+    "reuse.vectors.temporal_group",
+    "reuse.vectors.temporal_self",
+    "reuse.vectors.total",
+    "sim.accesses",
+    "sim.evictions",
+    "sim.hits",
+    "sim.misses",
+}
+
+#: Only recorded when the vectorized simulator backend actually runs.
+GOLDEN_NUMPY_COUNTERS = {
+    "sim.backend.batch.accesses",
+    "sim.backend.batch.runs",
+}
+
+GOLDEN_GAUGES = {
+    "parallel.jobs",
+}
+
+GOLDEN_HISTOGRAMS = {
+    "parallel.shard_size",
+    "parallel.worker_peak_rss_bytes",
+    "parallel.worker_seconds",
+    "polyhedra.ris.volume",
+    "reuse.ugs.size",
+}
+
+
+@pytest.fixture(scope="module")
+def pipeline_snapshot(tmp_path_factory):
+    """One fully exercised pipeline run's metrics snapshot."""
+    pytest.importorskip("numpy")
+    store = str(tmp_path_factory.mktemp("memo"))
+    obs.enable()
+    obs.reset()
+    try:
+        prepared = prepare(build_hydro(16, 16))
+        cache = CacheConfig.kb(2, 32, 2)
+        with Memoizer.open(store) as memo:
+            analyze(prepared, cache, method="find", memo=memo, jobs=2)
+        with Memoizer.open(store) as memo:
+            analyze(prepared, cache, method="find", memo=memo)
+        analyze(prepared, cache, method="estimate", seed=0)
+        run_simulation(prepared, cache, backend="scalar")
+        run_simulation(prepared, cache, backend="numpy")
+        return obs.snapshot()
+    finally:
+        obs.disable()
+
+
+class TestMetricNameStability:
+    def test_counter_names_exact(self, pipeline_snapshot):
+        expected = GOLDEN_COUNTERS | GOLDEN_NUMPY_COUNTERS
+        assert set(pipeline_snapshot["counters"]) == expected
+
+    def test_gauge_names_exact(self, pipeline_snapshot):
+        assert set(pipeline_snapshot["gauges"]) == GOLDEN_GAUGES
+
+    def test_histogram_names_exact(self, pipeline_snapshot):
+        assert set(pipeline_snapshot["histograms"]) == GOLDEN_HISTOGRAMS
+
+    def test_names_are_dotted_lowercase(self, pipeline_snapshot):
+        for kind in ("counters", "gauges", "histograms"):
+            for name in pipeline_snapshot[kind]:
+                assert name == name.lower()
+                assert "." in name
+                assert " " not in name

@@ -2,7 +2,10 @@
 
 import threading
 
+import pytest
+
 from repro.obs.registry import (
+    BUCKET_BOUNDS,
     MetricsRegistry,
     NULL_COUNTER,
     NULL_GAUGE,
@@ -44,6 +47,70 @@ class TestInstruments:
         h = MetricsRegistry().histogram("h")
         assert h.mean == 0.0
         assert h.as_dict() == {"count": 0, "sum": 0.0, "min": None, "max": None}
+
+
+class TestHistogramPercentiles:
+    """Pin the linear-interpolation estimator to exact values.
+
+    The ladder is 1-2-5 geometric, so [1, 2, 3, 4] lands in buckets
+    (0.5, 1], (1, 2], (2, 5], (2, 5].  With the first/last occupied
+    buckets tightened to the observed min/max, p0 and p100 are exact and
+    interior percentiles interpolate within bucket bounds.
+    """
+
+    def make(self, values):
+        h = MetricsRegistry().histogram("h")
+        for v in values:
+            h.observe(v)
+        return h
+
+    def test_small_sample_pinned_values(self):
+        h = self.make([1.0, 2.0, 3.0, 4.0])
+        assert h.percentile(0) == 1.0
+        assert h.percentile(25) == 1.0
+        assert h.percentile(50) == 2.0
+        assert h.percentile(75) == 3.0
+        assert h.percentile(100) == 4.0
+
+    def test_interpolates_within_bucket_not_at_bound(self):
+        # Both values share the (10, 20] bucket; the tightened bucket is
+        # [11, 12], so p99 interpolates to 11 + 0.99 * (12 - 11) and must
+        # NOT snap to the raw bucket bound 20.
+        h = self.make([11.0, 12.0])
+        assert h.percentile(99) == pytest.approx(11.99)
+
+    def test_overflow_bucket_uses_observed_max(self):
+        top = BUCKET_BOUNDS[-1]
+        h = self.make([top * 2])
+        assert h.percentile(50) == top * 2
+
+    def test_empty_histogram_has_no_percentiles(self):
+        h = MetricsRegistry().histogram("h")
+        assert h.percentile(50) is None
+
+    def test_out_of_range_percentile_rejected(self):
+        h = self.make([1.0])
+        with pytest.raises(ValueError):
+            h.percentile(-1)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_null_histogram_percentile_is_none(self):
+        assert NULL_HISTOGRAM.percentile(50) is None
+
+    def test_buckets_serialized_only_when_occupied(self):
+        h = self.make([1.5])
+        d = h.as_dict()
+        assert d["buckets"] == [[2.0, 1]]
+
+    def test_merge_folds_buckets(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h").observe(1.5)
+        b.histogram("h").observe(1.6)
+        a.merge(b.snapshot())
+        h = a.histogram("h")
+        assert h.as_dict()["buckets"] == [[2.0, 2]]
+        assert h.percentile(100) == 1.6
 
 
 class TestSnapshotMerge:

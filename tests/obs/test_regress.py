@@ -1,0 +1,167 @@
+"""Statistical regression checking against ledger history.
+
+The acceptance pair: a synthetic 2x slowdown must fail the check
+(non-zero exit) and a faithful replay of the recorded baseline must pass
+(zero exit) — with enough noise tolerance between the two that shared CI
+runners do not false-positive.
+"""
+
+import pytest
+
+from repro.obs.ledger import append_row, build_row
+from repro.obs.regress import (
+    CheckResult,
+    check_ledger,
+    check_rows,
+    exit_code,
+)
+
+
+def history_rows(walls, label="bench:x", config=None):
+    return [
+        build_row(
+            label,
+            config=config or {"jobs": 1},
+            phases={},
+            wall_seconds=wall,
+            counters={},
+        )
+        for wall in walls
+    ]
+
+
+def current_row(wall, label="bench:x", config=None):
+    return history_rows([wall], label=label, config=config)[0]
+
+
+class TestCheckRows:
+    def test_two_x_slowdown_regresses(self):
+        history = history_rows([1.0, 1.02, 0.98, 1.01, 0.99])
+        (result,) = check_rows(history, [current_row(2.0)])
+        assert result.regressed
+        assert result.ratio == pytest.approx(2.0 / 0.98)
+        assert exit_code([result]) == 1
+
+    def test_replay_of_baseline_passes(self):
+        history = history_rows([1.0, 1.02, 0.98, 1.01, 0.99])
+        (result,) = check_rows(history, [current_row(1.0)])
+        assert result.status == "ok"
+        assert exit_code([result]) == 0
+
+    def test_jitter_within_threshold_passes(self):
+        history = history_rows([1.0, 1.05, 0.97])
+        (result,) = check_rows(history, [current_row(1.3)])
+        assert result.status == "ok"
+
+    def test_min_of_k_window_discards_older_rows(self):
+        # Old fast run outside the k=2 window; baseline is min(1.0, 1.1).
+        history = history_rows([0.1, 1.0, 1.1])
+        (result,) = check_rows(
+            history, [current_row(1.2)], baseline_k=2, threshold=1.5
+        )
+        assert result.baseline == 1.0
+        assert result.status == "ok"
+
+    def test_noise_floor_ignores_micro_runs(self):
+        history = history_rows([0.001, 0.001])
+        (result,) = check_rows(history, [current_row(0.003)])
+        assert result.status == "ok"  # 3x but only 2ms absolute
+
+    def test_confidence_gate_blocks_noisy_history(self):
+        # Wildly noisy history: the min-of-k ratio alone would trip, but
+        # the current time is within the history's spread.
+        history = history_rows([1.0, 4.0, 1.2, 3.8, 1.1])
+        (result,) = check_rows(history, [current_row(2.0)])
+        assert result.status == "ok"
+
+    def test_no_baseline_never_fails(self):
+        (result,) = check_rows([], [current_row(5.0)])
+        assert result.status == "no-baseline"
+        assert not result.regressed
+        assert exit_code([result]) == 0
+
+    def test_different_config_is_a_fresh_history(self):
+        history = history_rows([1.0, 1.0], config={"jobs": 1})
+        (result,) = check_rows(
+            history, [current_row(5.0, config={"jobs": 4})]
+        )
+        assert result.status == "no-baseline"
+
+    def test_row_without_wall_reports_no_metric(self):
+        row = current_row(1.0)
+        row["wall_seconds"] = None
+        row["phases"] = {}
+        (result,) = check_rows(history_rows([1.0]), [row])
+        assert result.status == "no-metric"
+
+    def test_phases_stand_in_for_missing_wall(self):
+        row = current_row(1.0)
+        row["wall_seconds"] = None
+        row["phases"] = {"solve": 0.6, "prep": 0.4}
+        (result,) = check_rows(history_rows([1.0, 1.0]), [row])
+        assert result.current == pytest.approx(1.0)
+
+    def test_hard_threshold_validation(self):
+        with pytest.raises(ValueError):
+            check_rows([], [], threshold=2.0, hard_threshold=1.5)
+
+
+class TestWarnOnly:
+    def make(self, ratio):
+        history = history_rows([1.0, 1.0, 1.0, 1.0, 1.0])
+        (result,) = check_rows(
+            history, [current_row(ratio)], threshold=1.5, hard_threshold=3.0
+        )
+        return result
+
+    def test_soft_regression_warns_but_passes(self):
+        result = self.make(2.0)
+        assert result.regressed and not result.hard
+        assert exit_code([result], warn_only=True) == 0
+        assert exit_code([result], warn_only=False) == 1
+
+    def test_hard_regression_fails_even_warn_only(self):
+        result = self.make(4.0)
+        assert result.hard
+        assert exit_code([result], warn_only=True) == 1
+
+
+class TestCheckLedger:
+    def test_latest_row_checked_against_earlier(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        for row in history_rows([1.0, 1.0, 1.0, 2.5]):
+            append_row(path, row)
+        (result,) = check_ledger(path)
+        assert result.regressed
+
+    def test_current_path_checks_foreign_rows(self, tmp_path):
+        base = str(tmp_path / "baseline.jsonl")
+        cur = str(tmp_path / "current.jsonl")
+        for row in history_rows([1.0, 1.0, 1.0]):
+            append_row(base, row)
+        append_row(cur, current_row(1.05))
+        (result,) = check_ledger(base, current_path=cur)
+        assert result.status == "ok"
+
+    def test_empty_ledger_checks_nothing(self, tmp_path):
+        assert check_ledger(str(tmp_path / "none.jsonl")) == []
+
+
+class TestDescribe:
+    def test_one_liners(self):
+        assert "no baseline" in CheckResult("k", "x", "no-baseline").describe()
+        ok = CheckResult(
+            "k", "x", "ok", current=1.0, baseline=1.0, ratio=1.0, history=3
+        )
+        assert "ok" in ok.describe()
+        hard = CheckResult(
+            "k",
+            "x",
+            "regression",
+            current=4.0,
+            baseline=1.0,
+            ratio=4.0,
+            history=3,
+            hard=True,
+        )
+        assert "HARD" in hard.describe()

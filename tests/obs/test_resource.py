@@ -1,0 +1,129 @@
+"""Resource accounting: peak RSS, GC deltas, tracemalloc attribution."""
+
+import pytest
+
+from repro import obs
+from repro.obs.profile import SpanProfiler
+from repro.obs.resource import (
+    MemProfiler,
+    SpanResourceMonitor,
+    gc_totals,
+    peak_rss_bytes,
+)
+
+
+class TestPeakRss:
+    def test_positive_and_plausible(self):
+        rss = peak_rss_bytes()
+        # A running CPython process occupies at least 1 MiB and (on any
+        # machine this suite targets) under 1 TiB.
+        assert 1 << 20 < rss < 1 << 40
+
+    def test_monotonic(self):
+        before = peak_rss_bytes()
+        ballast = [0] * 500_000
+        after = peak_rss_bytes()
+        assert after >= before
+        del ballast
+
+
+class TestGcTotals:
+    def test_shape(self):
+        collections, collected, uncollectable = gc_totals()
+        assert collections >= 0
+        assert collected >= 0
+        assert uncollectable >= 0
+
+
+class TestSpanResourceMonitor:
+    def test_records_per_span_rss_gauges(self):
+        obs.enable()
+        monitor = SpanResourceMonitor()
+        monitor.install(obs.tracer())
+        with obs.span("phase_one"):
+            pass
+        monitor.uninstall()
+        snap = obs.snapshot()
+        gauge = snap["gauges"]["resource.rss_peak_bytes.phase_one"]
+        assert gauge == pytest.approx(peak_rss_bytes(), rel=0.5)
+
+    def test_finalize_records_run_wide_gauges(self):
+        obs.enable()
+        monitor = SpanResourceMonitor()
+        monitor.install(obs.tracer())
+        monitor.uninstall()
+        monitor.finalize()
+        gauges = obs.snapshot()["gauges"]
+        assert gauges["resource.peak_rss_bytes"] > 0
+        for name in (
+            "resource.gc.collections",
+            "resource.gc.collected",
+            "resource.gc.uncollectable",
+        ):
+            assert name in gauges
+
+    def test_uninstall_restores_previous_hook(self):
+        obs.enable()
+        tracer = obs.tracer()
+        calls = []
+
+        def previous_hook(name):
+            calls.append(name)
+
+        tracer.on_exit = previous_hook
+        monitor = SpanResourceMonitor()
+        monitor.install(tracer)
+        with obs.span("x"):
+            pass
+        monitor.uninstall()
+        assert tracer.on_exit is previous_hook
+        assert calls == ["x"]  # previous hook still ran, chained
+
+    def test_composes_with_span_profiler(self, tmp_path):
+        # The profiler *overwrites* the hook slots; the monitor chains.
+        # Install order therefore matters: profiler first, monitor second.
+        obs.enable()
+        tracer = obs.tracer()
+        profiler = SpanProfiler("cme/estimate")
+        profiler.install(tracer)
+        monitor = SpanResourceMonitor()
+        monitor.install(tracer)
+        with obs.span("cme/estimate"):
+            pass
+        monitor.uninstall()
+        profiler.uninstall(tracer)
+        profiler.dump(str(tmp_path / "p.pstats"))
+        gauges = obs.snapshot()["gauges"]
+        assert "resource.rss_peak_bytes.cme/estimate" in gauges
+
+
+class TestMemProfiler:
+    def test_start_stop_reports_sites(self):
+        prof = MemProfiler(top=5)
+        prof.start()
+        ballast = ["x" * 100 for _ in range(1000)]
+        sites = prof.stop()
+        del ballast
+        assert 0 < len(sites) <= 5
+        for site in sites:
+            assert ":" in site["site"]
+            assert site["size_bytes"] > 0
+            assert site["count"] > 0
+
+    def test_records_peak_gauge_when_enabled(self):
+        obs.enable()
+        prof = MemProfiler()
+        prof.start()
+        prof.stop()
+        assert obs.snapshot()["gauges"]["resource.tracemalloc_peak_bytes"] > 0
+
+    def test_stop_without_start_is_safe(self):
+        assert MemProfiler().stop() == []
+
+    def test_format_sites(self):
+        text = MemProfiler.format_sites(
+            [{"site": "f.py:1", "size_bytes": 2048, "count": 3}]
+        )
+        assert "f.py:1" in text
+        assert "2.0 KiB" in text
+        assert MemProfiler.format_sites([]).endswith("(no allocations traced)")

@@ -165,6 +165,133 @@ class TestObservabilityFlags:
             assert p[name] == s[name], name
 
 
+class TestTimelineFlag:
+    def test_timeline_out_writes_chrome_trace(self, tmp_path, capsys):
+        out = tmp_path / "t.json"
+        assert main(ANALYZE + ["--timeline-out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert xs, "no span events exported"
+        names = {e["name"] for e in xs}
+        assert "cme/estimate" in names
+        metas = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert any(
+            e["name"] == "process_name"
+            and e["args"]["name"] == "repro (parent)"
+            for e in metas
+        )
+        assert "timeline" in capsys.readouterr().out
+
+    def test_parallel_timeline_matches_metrics_within_one_percent(
+        self, tmp_path
+    ):
+        from repro.obs.timeline import sum_durations
+
+        timeline, metrics = tmp_path / "t.json", tmp_path / "m.json"
+        assert main(ANALYZE + ["--jobs", "4", "--timeline-out", str(timeline),
+                    "--metrics-out", str(metrics)]) == 0
+        trace = json.loads(timeline.read_text())
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len({e["pid"] for e in xs}) > 1  # distinct worker lanes
+        # Per top-level phase, the summed lane durations (µs) must match
+        # the aggregated tree's wall time within 1%.
+        by_name = sum_durations(
+            [{"name": e["name"], "dur": e["dur"] / 1e6} for e in xs]
+        )
+        spans = json.loads(metrics.read_text())["spans"]
+        for span in spans:
+            assert by_name[span["name"]] == pytest.approx(
+                span["seconds"], rel=0.01
+            ), span["name"]
+
+
+class TestLedgerFlag:
+    def test_ledger_out_appends_row(self, tmp_path, capsys):
+        path = tmp_path / "ledger.jsonl"
+        assert main(ANALYZE + ["--ledger-out", str(path)]) == 0
+        assert main(ANALYZE + ["--ledger-out", str(path)]) == 0
+        from repro.obs.ledger import read_ledger, row_key
+
+        rows = read_ledger(str(path))
+        assert len(rows) == 2
+        row = rows[0]
+        assert row["label"] == "analyze:hydro"
+        assert row["program"] == "hydro"
+        assert row["config"]["size"] == 16
+        assert row["wall_seconds"] > 0
+        assert row["counters"]["cme.points.classified"] > 0
+        assert row_key(rows[0]) == row_key(rows[1])
+        assert "ledger" in capsys.readouterr().out
+
+
+class TestPerfVerbs:
+    def seed_ledger(self, path, walls, label="bench:x"):
+        from repro.obs.ledger import append_row, build_row
+
+        for wall in walls:
+            append_row(
+                str(path),
+                build_row(label, config={"jobs": 1}, phases={},
+                          wall_seconds=wall, counters={}),
+            )
+
+    def test_check_fails_on_synthetic_two_x_slowdown(self, tmp_path, capsys):
+        base = tmp_path / "base.jsonl"
+        cur = tmp_path / "cur.jsonl"
+        self.seed_ledger(base, [1.0, 1.0, 1.0])
+        self.seed_ledger(cur, [2.0])
+        rc = main(["perf", "check", str(base), "--current", str(cur)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "FAIL" in out
+
+    def test_check_passes_on_baseline_replay(self, tmp_path, capsys):
+        base = tmp_path / "base.jsonl"
+        cur = tmp_path / "cur.jsonl"
+        self.seed_ledger(base, [1.0, 1.0, 1.0])
+        self.seed_ledger(cur, [1.0])
+        assert main(["perf", "check", str(base), "--current", str(cur)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_check_warn_only_soft_passes_hard_fails(self, tmp_path, capsys):
+        base = tmp_path / "base.jsonl"
+        soft = tmp_path / "soft.jsonl"
+        hard = tmp_path / "hard.jsonl"
+        self.seed_ledger(base, [1.0] * 5)
+        self.seed_ledger(soft, [2.0])
+        self.seed_ledger(hard, [4.0])
+        common = ["perf", "check", str(base), "--threshold", "1.5",
+                  "--hard-threshold", "3.0", "--warn-only"]
+        assert main(common + ["--current", str(soft)]) == 0
+        assert main(common + ["--current", str(hard)]) == 1
+        capsys.readouterr()
+
+    def test_check_self_history_mode(self, tmp_path, capsys):
+        path = tmp_path / "ledger.jsonl"
+        self.seed_ledger(path, [1.0, 1.0, 1.0, 2.5])
+        assert main(["perf", "check", str(path)]) == 1
+        capsys.readouterr()
+
+    def test_report_writes_html(self, tmp_path, capsys):
+        path = tmp_path / "ledger.jsonl"
+        out = tmp_path / "report.html"
+        self.seed_ledger(path, [1.0, 1.1, 1.2])
+        assert main(["perf", "report", str(path), "-o", str(out)]) == 0
+        text = out.read_text()
+        assert text.startswith("<!doctype html>")
+        assert "bench:x" in text
+        assert "report" in capsys.readouterr().out
+
+
+class TestMemProfileFlag:
+    def test_mem_profile_prints_allocation_sites(self, capsys):
+        assert main(ANALYZE + ["--mem-profile"]) == 0
+        err = capsys.readouterr().err
+        assert "top allocation sites" in err
+        assert "KiB" in err or "MiB" in err or "B " in err
+
+
 class TestSimBackendFlag:
     def test_sim_backends_print_identical_results(self, capsys):
         argv = ["simulate", "hydro", "--size", "16", "--cache", "2:32:2"]
