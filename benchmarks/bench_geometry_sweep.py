@@ -1,0 +1,144 @@
+"""Hit-rate-vs-associativity curves per replacement policy (the zoo sweep).
+
+The Vera & Xue analytical model is derived for LRU caches, but the
+simulator's policy zoo (LRU / FIFO / tree-PLRU / seeded-random) lets us
+measure how much of a kernel's hit rate is *policy* rather than
+*geometry*: for each kernel we sweep associativity at a fixed capacity
+and line size — the last point (assoc == lines) is the fully-associative
+cache, exercising the FA fast path — and record one hit-rate curve per
+policy.
+
+Note the sweep holds *capacity* fixed, so the LRU inclusion property
+does **not** apply (it needs a fixed set count — see
+``tests/sim/test_policy_differential.py``); hit rate may legitimately
+dip as sets are traded for ways.  Two structural claims that *do* hold
+are asserted before anything is emitted:
+
+* **Direct-mapped agreement** — at assoc 1 there is no replacement
+  choice, so every policy's first point is identical.
+* **2-way PLRU ≡ LRU** — a one-node PLRU tree is exact LRU, so the
+  two curves agree at assoc 2.
+
+Results land in ``benchmarks/results/BENCH_geometry.{txt,json}`` and are
+mirrored to repo-root ``BENCH_geometry.json`` — the per-policy curve
+file future PRs diff against.
+"""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import emit, emit_json, timed_once
+
+from repro import CacheConfig, prepare
+from repro.kernels import build_hydro, build_mgrid, build_mmt
+from repro.report import assoc_label, format_table
+from repro.sim import POLICIES, simulate_sweep
+
+KERNELS = [
+    ("HYDRO", lambda: build_hydro(24, 24)),
+    ("MMT", lambda: build_mmt(24, 12, 6)),
+    ("MGRID", lambda: build_mgrid(48)),
+]
+
+CACHE_KB = 1
+LINE_BYTES = 32
+#: 32 == lines at 1KB/32B: the last point is the fully-associative cache.
+ASSOCS = (1, 2, 4, 8, 32)
+SEED = 7
+
+
+def sweep_kernel(prepared):
+    base = CacheConfig.kb(CACHE_KB, LINE_BYTES, 1)
+    curves, accesses = {}, 0
+    for policy in POLICIES:
+        reports = simulate_sweep(
+            prepared.nprog,
+            prepared.layout,
+            base,
+            walker=prepared.walker,
+            policy=policy,
+            seed=SEED,
+            assocs=list(ASSOCS),
+        )
+        curves[policy] = [r.hit_ratio_percent for r in reports]
+        accesses = reports[0].total_accesses
+    return curves, accesses
+
+
+def check_structure(name, curves):
+    """Benchmark hygiene: never publish curves that violate policy theory."""
+    first = {policy: curve[0] for policy, curve in curves.items()}
+    assert len(set(first.values())) == 1, (
+        f"{name}: policies disagree at direct-mapped: {first}"
+    )
+    two_way = ASSOCS.index(2)
+    assert curves["plru"][two_way] == curves["lru"][two_way], (
+        f"{name}: 2-way PLRU diverged from LRU"
+    )
+
+
+def compute_curves():
+    results = []
+    for name, builder in KERNELS:
+        prepared = prepare(builder())
+        curves, accesses = sweep_kernel(prepared)
+        check_structure(name, curves)
+        results.append(
+            {
+                "kernel": name,
+                "accesses": accesses,
+                "hit_rate_percent": {
+                    policy: [round(h, 4) for h in curve]
+                    for policy, curve in curves.items()
+                },
+            }
+        )
+    return results
+
+
+def test_geometry_sweep(benchmark):
+    results, seconds = timed_once(benchmark, compute_curves)
+    rows = []
+    for entry in results:
+        for policy in POLICIES:
+            rows.append(
+                (entry["kernel"], policy)
+                + tuple(
+                    f"{h:.2f}" for h in entry["hit_rate_percent"][policy]
+                )
+            )
+    table = format_table(
+        ["Kernel", "Policy"] + [assoc_label(a) for a in ASSOCS],
+        rows,
+        title=(
+            f"Hit rate % by associativity ({CACHE_KB}KB/{LINE_BYTES}B, "
+            f"{assoc_label(ASSOCS[-1])} = fully associative)"
+        ),
+    )
+    emit("BENCH_geometry", table)
+    emit_json(
+        "BENCH_geometry",
+        {
+            "wall_seconds": seconds,
+            "description": (
+                "Per-policy hit-rate-vs-associativity curves at fixed "
+                "capacity; the final point is the fully-associative "
+                "cache (FA fast path on the vectorized backend)"
+            ),
+            "cache_kb": CACHE_KB,
+            "line_bytes": LINE_BYTES,
+            "associativities": list(ASSOCS),
+            "policies": list(POLICIES),
+            "seed": SEED,
+            "kernels": results,
+        },
+        config={
+            "cache_kb": CACHE_KB,
+            "line_bytes": LINE_BYTES,
+            "associativities": list(ASSOCS),
+            "seed": SEED,
+        },
+    )
+    for entry in results:
+        for policy in POLICIES:
+            assert len(entry["hit_rate_percent"][policy]) == len(ASSOCS)

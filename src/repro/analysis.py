@@ -36,7 +36,12 @@ from repro.reuse.generator import ReuseOptions, ReuseTable, build_reuse_table
 from repro.cme.estimate import estimate_misses
 from repro.cme.find import find_misses
 from repro.cme.result import MissReport
-from repro.sim.simulator import SimReport, simulate
+from repro.sim.simulator import (
+    HierarchyReport,
+    SimReport,
+    simulate,
+    simulate_hierarchy,
+)
 
 if TYPE_CHECKING:  # repro.memo imports repro.cme — keep this lazy
     from repro.memo import Memoizer
@@ -174,18 +179,42 @@ def run_simulation(
     target: Union[Program, PreparedProgram],
     cache: CacheConfig,
     backend: Optional[str] = None,
-) -> SimReport:
-    """Run the trace-driven LRU cache simulator on the whole program.
+    policy: Optional[str] = None,
+    seed: int = 0,
+    l2_cache: Optional[CacheConfig] = None,
+    l2_policy: Optional[str] = None,
+) -> Union[SimReport, HierarchyReport]:
+    """Run the trace-driven cache simulator on the whole program.
 
-    ``backend`` selects the simulator — ``"numpy"`` (vectorized
-    stack-distance kernel) or ``"scalar"`` (walker + LRU state machine);
-    ``None`` means NumPy when installed.  Reports are bit-identical.
+    ``backend`` selects the simulator — ``"numpy"`` (vectorized set
+    kernels) or ``"scalar"`` (walker + per-set state machines); ``None``
+    means NumPy when installed.  ``policy`` picks the replacement policy
+    (:data:`repro.sim.POLICIES`; default LRU) and ``seed`` feeds the
+    random policy's victim draw.  With ``l2_cache``, a two-level
+    hierarchy is simulated — the L1 miss stream replays through the L2 —
+    and a :class:`~repro.sim.simulator.HierarchyReport` is returned
+    (``l2_policy`` defaults to ``policy``).  Reports are bit-identical
+    across backends for every policy.
     """
     prepared = _as_prepared(target)
+    if l2_cache is not None:
+        return simulate_hierarchy(
+            prepared.nprog,
+            prepared.layout,
+            cache,
+            l2_cache,
+            walker=prepared.walker,
+            backend=backend,
+            policy=policy,
+            l2_policy=l2_policy,
+            seed=seed,
+        )
     return simulate(
         prepared.nprog,
         prepared.layout,
         cache,
         walker=prepared.walker,
         backend=backend,
+        policy=policy,
+        seed=seed,
     )

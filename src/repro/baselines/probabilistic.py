@@ -22,15 +22,30 @@ This module implements an independent estimator in the same spirit:
 Like the original, it is very fast and reasonably accurate for friendly
 strides, but its footprint approximation degrades as the line size grows —
 the qualitative behaviour Table 7 exhibits (Δ_P up to ~44% at Ls = 32).
+
+Besides the paper's LRU model, ``policy="random"`` swaps in the
+random-replacement eviction probability: under uniform set mapping an
+interfering line fill lands in the target's set with probability ``1/S``
+and then victimises the target's way with probability ``1/k``, so the
+target survives ``F`` independent fills with probability
+``(1 - 1/(S·k))^F`` and
+
+    ``p_evict = 1 - (1 - 1/(S·k))^F``
+
+— a closed form (the binomial probability generating function evaluated
+at the per-fill survival rate) that needs no scipy at all, which is why
+the LRU branch's ``binom`` import is lazy.  FIFO and tree-PLRU are not
+stack algorithms and admit no such per-window closed form; asking for
+them raises :class:`~repro.errors.ReproError`.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Optional
 
-from scipy.stats import binom
-
+from repro.errors import ReproError
 from repro.layout.cache import CacheConfig
 from repro.layout.memory import MemoryLayout
 from repro.normalize.nprogram import NormalizedProgram, NRef
@@ -147,8 +162,26 @@ def probabilistic_misses(
     layout: MemoryLayout,
     cache: CacheConfig,
     reuse: ReuseTable | None = None,
+    policy: Optional[str] = None,
 ) -> ProbabilisticReport:
-    """Estimate the program miss ratio without examining iteration points."""
+    """Estimate the program miss ratio without examining iteration points.
+
+    ``policy`` selects the eviction-probability model: ``"lru"`` (the
+    default; the binomial survival model above) or ``"random"`` (the
+    closed-form random-replacement equation).  Other simulator policies
+    have no probabilistic closed form and raise
+    :class:`~repro.errors.ReproError`.
+    """
+    from repro.sim.policy import resolve_policy
+
+    policy = resolve_policy(policy)
+    if policy not in ("lru", "random"):
+        raise ReproError(
+            f"no probabilistic closed form for policy {policy!r}; "
+            f"only lru and random are modelled"
+        )
+    if policy == "lru":
+        from scipy.stats import binom
     started = time.perf_counter()
     if reuse is None:
         reuse = build_reuse_table(nprog, cache.line_bytes)
@@ -186,8 +219,12 @@ def probabilistic_misses(
         for other in nprog.refs:
             if population[other.uid]:
                 footprint += window * lines_rate[other.uid]
-        p_conflict = min(1.0, 1.0 / num_sets)
-        p_evict = float(binom.sf(k - 1, max(1, round(footprint)), p_conflict))
+        fills = max(1, round(footprint))
+        if policy == "random":
+            p_evict = 1.0 - (1.0 - 1.0 / (num_sets * k)) ** fills
+        else:
+            p_conflict = min(1.0, 1.0 / num_sets)
+            p_evict = float(binom.sf(k - 1, fills, p_conflict))
         report.ref_ratios[ref.uid] = (1.0 - f_reuse) + f_reuse * p_evict
         report.populations[ref.uid] = population[ref.uid]
     report.elapsed_seconds = time.perf_counter() - started

@@ -6,9 +6,11 @@ Examples::
     repro-cache analyze hydro --cache 32:32:2 --trace --metrics-out m.json
     repro-cache compare mmt --cache 8:32:1 --size 32
     repro-cache simulate path/to/kernel.f --cache 32:32:4 --sim-backend numpy
+    repro-cache simulate hydro --cache 4:32:2 --policy plru
+    repro-cache simulate hydro --cache 1:32:2 --l2-cache 16:32:8 --l2-policy random
     repro-cache stats applu
     repro-cache trace export swim --size 40 -o swim.trace
-    repro-cache trace simulate swim.trace --cache 4:32:2
+    repro-cache trace simulate swim.trace --cache 4:32:2 --policy fifo
     repro-cache trace import raw.addr --word-bytes 4 --byteorder big -o ext.trace
     repro-cache analyze hydro --jobs 4 --timeline-out t.json --ledger-out runs.jsonl
     repro-cache perf check runs.jsonl --threshold 1.5
@@ -137,6 +139,29 @@ def _add_sim_backend_arg(sub: argparse.ArgumentParser) -> None:
         "kernel (falls back to scalar when NumPy is not installed), "
         "'scalar' = walker + LRU state machine; per-reference tallies "
         "are bit-identical either way",
+    )
+
+
+def _add_policy_args(sub: argparse.ArgumentParser) -> None:
+    from repro.sim.policy import POLICIES
+
+    sub.add_argument(
+        "--policy",
+        choices=list(POLICIES),
+        default=None,
+        help="replacement policy (default lru, the paper's model); "
+        "plru needs a power-of-two associativity; per-reference "
+        "tallies are bit-identical across --sim-backend values "
+        "for every policy",
+    )
+    sub.add_argument(
+        "--policy-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed of the random policy's deterministic victim draw "
+        "(fixed seed = reproducible across backends, processes and "
+        "--jobs; ignored by lru/fifo/plru)",
     )
 
 
@@ -340,9 +365,31 @@ def _cmd_analyze(args, program: Program, echo: Callable[[str], None]) -> int:
 def _cmd_simulate(args, program: Program, echo: Callable[[str], None]) -> int:
     cache = _parse_cache(args.cache)
     prepared = prepare(program)
-    report = run_simulation(prepared, cache, backend=args.sim_backend)
+    l2_cache = (
+        _parse_cache(args.l2_cache) if args.l2_cache is not None else None
+    )
+    report = run_simulation(
+        prepared,
+        cache,
+        backend=args.sim_backend,
+        policy=args.policy,
+        seed=args.policy_seed,
+        l2_cache=l2_cache,
+        l2_policy=args.l2_policy,
+    )
+    if l2_cache is not None:
+        echo(
+            f"{program.name} on L1 {cache.describe()} ({report.l1.policy}) "
+            f"-> L2 {l2_cache.describe()} ({report.l2.policy}): "
+            f"L1 miss ratio {report.l1_miss_ratio_percent:.2f}%, "
+            f"L2 local {report.l2_local_miss_ratio_percent:.2f}%, "
+            f"global {report.global_miss_ratio_percent:.2f}% "
+            f"({report.l2.total_misses} of {report.total_accesses} accesses "
+            f"missed both levels, {report.elapsed_seconds:.2f}s)"
+        )
+        return 0
     echo(
-        f"{program.name} on {cache.describe()}: "
+        f"{program.name} on {cache.describe()} ({report.policy}): "
         f"miss ratio {report.miss_ratio_percent:.2f}% "
         f"({report.total_misses} of {report.total_accesses} accesses, "
         f"{report.elapsed_seconds:.2f}s)"
@@ -363,7 +410,13 @@ def _cmd_compare(args, program: Program, echo: Callable[[str], None]) -> int:
         backend=args.backend,
     )
     _close_memoizer(memo)
-    simulated = run_simulation(prepared, cache, backend=args.sim_backend)
+    simulated = run_simulation(
+        prepared,
+        cache,
+        backend=args.sim_backend,
+        policy=args.policy,
+        seed=args.policy_seed,
+    )
     err = abs(analytic.miss_ratio_percent - simulated.miss_ratio_percent)
     echo(
         format_table(
@@ -376,7 +429,7 @@ def _cmd_compare(args, program: Program, echo: Callable[[str], None]) -> int:
                     analytic.elapsed_seconds,
                 ),
                 (
-                    "Simulator",
+                    f"Simulator ({simulated.policy})",
                     simulated.miss_ratio_percent,
                     simulated.total_misses,
                     simulated.elapsed_seconds,
@@ -425,9 +478,15 @@ def _cmd_trace(args, echo: Callable[[str], None]) -> int:
             )
             return 0
         cache = _parse_cache(args.cache)
-        report = simulate_trace(args.input, cache, backend=args.sim_backend)
+        report = simulate_trace(
+            args.input,
+            cache,
+            backend=args.sim_backend,
+            policy=args.policy,
+            seed=args.policy_seed,
+        )
         echo(
-            f"{args.input} on {cache.describe()}: "
+            f"{args.input} on {cache.describe()} ({report.policy}): "
             f"miss ratio {report.miss_ratio_percent:.2f}% "
             f"({report.total_misses} of {report.total_accesses} accesses, "
             f"{report.elapsed_seconds:.2f}s)"
@@ -524,6 +583,10 @@ def _ledger_config(args) -> dict:
         "method",
         "backend",
         "sim_backend",
+        "policy",
+        "policy_seed",
+        "l2_cache",
+        "l2_policy",
         "jobs",
         "size",
         "steps",
@@ -582,9 +645,23 @@ def main(argv: Optional[list[str]] = None) -> int:
     _add_memo_args(p_analyze)
     _add_obs_args(p_analyze)
 
-    p_sim = subs.add_parser("simulate", help="trace-driven LRU simulation")
+    p_sim = subs.add_parser("simulate", help="trace-driven cache simulation")
     _add_workload_args(p_sim)
     _add_sim_backend_arg(p_sim)
+    _add_policy_args(p_sim)
+    p_sim.add_argument(
+        "--l2-cache",
+        metavar="SPEC",
+        default=None,
+        help="simulate a two-level hierarchy: the L1 miss stream replays "
+        "through this L2 cache (spec SIZE_KB:LINE_BYTES:ASSOC)",
+    )
+    p_sim.add_argument(
+        "--l2-policy",
+        choices=["lru", "fifo", "plru", "random"],
+        default=None,
+        help="L2 replacement policy (default: same as --policy)",
+    )
     _add_obs_args(p_sim)
 
     p_cmp = subs.add_parser("compare", help="analytical vs simulated, side by side")
@@ -594,6 +671,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     )
     _add_backend_arg(p_cmp)
     _add_sim_backend_arg(p_cmp)
+    _add_policy_args(p_cmp)
     _add_jobs_arg(p_cmp)
     _add_memo_args(p_cmp)
     _add_obs_args(p_cmp)
@@ -639,13 +717,14 @@ def main(argv: Optional[list[str]] = None) -> int:
     _add_obs_args(t_import)
 
     t_sim = tsubs.add_parser(
-        "simulate", help="replay a binary trace through the LRU simulator"
+        "simulate", help="replay a binary trace through the cache simulator"
     )
     t_sim.add_argument("input", help="binary trace file")
     t_sim.add_argument(
         "--cache", default="32:32:1", help="cache spec SIZE_KB:LINE_BYTES:ASSOC"
     )
     _add_sim_backend_arg(t_sim)
+    _add_policy_args(t_sim)
     _add_obs_args(t_sim)
 
     p_stats = subs.add_parser("stats", help="Table 5 / Table 2 style statistics")

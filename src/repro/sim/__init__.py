@@ -1,10 +1,22 @@
 """Trace-driven cache simulation (the paper's validation baseline)."""
 
 from repro.sim.cache import SetAssocLRUCache
+from repro.sim.policy import (
+    DEFAULT_POLICY,
+    POLICIES,
+    PolicyCache,
+    make_cache,
+    mix_victim,
+    resolve_policy,
+)
 from repro.sim.reference_interp import interpret_accesses, reference_trace
 from repro.sim.simulator import (
+    HierarchyReport,
     SimReport,
+    assoc_sweep_caches,
+    normalize_assocs,
     simulate,
+    simulate_hierarchy,
     simulate_sweep,
     simulate_trace,
 )
@@ -18,10 +30,20 @@ from repro.sim.tracefile import (
 
 __all__ = [
     "SetAssocLRUCache",
+    "DEFAULT_POLICY",
+    "POLICIES",
+    "PolicyCache",
+    "make_cache",
+    "mix_victim",
+    "resolve_policy",
     "interpret_accesses",
     "reference_trace",
+    "HierarchyReport",
     "SimReport",
+    "assoc_sweep_caches",
+    "normalize_assocs",
     "simulate",
+    "simulate_hierarchy",
     "simulate_sweep",
     "simulate_trace",
     "TraceEntry",

@@ -49,6 +49,25 @@ accesses at once:
 The result is **bit-identical** to :class:`~repro.sim.cache.SetAssocLRUCache`
 per-reference tallies (the 210-case differential suite asserts it), at
 10-30× the speed on the Table 6 programs.
+
+Two extensions share stages 1-3:
+
+* **Fully-associative fast path** — with ``num_sets == 1`` the whole
+  stream *is* one set segment, so the set decomposition and the stable
+  argsort (the kernel's costliest stage) are skipped outright and the
+  stream is run-compressed in place (counted under
+  ``sim.policy.fa_fastpath``; the Gysi et al. observation from
+  PAPERS.md).
+* **Non-LRU policies** — only LRU is a stack algorithm, so FIFO, PLRU
+  and random have no closed miss form (Belady's anomaly).
+  :func:`policy_miss_kernel` keeps the vectorized trace build, set
+  decomposition and run compression — valid for *every* policy here
+  because immediately re-accessing the just-touched line always hits
+  without changing set state — and replays only the run heads (usually a
+  small fraction of the trace) through the exact scalar set machines of
+  :mod:`repro.sim.policy`, one set at a time.  Bit-identity with the
+  scalar walker is then by construction, and the differential matrix
+  asserts it per policy anyway.
 """
 
 from __future__ import annotations
@@ -65,7 +84,8 @@ from repro.layout.memory import MemoryLayout
 from repro.normalize.nprogram import NormalizedProgram, NRef
 from repro.iteration.walker import Walker
 from repro.polyhedra.batch import enumerate_points_array
-from repro.sim.simulator import SimReport
+from repro.sim.policy import SET_MACHINES, count_policy_run
+from repro.sim.simulator import HierarchyReport, SimReport
 
 #: Hard budget on materialised trace length: past this the arrays stop
 #: fitting comfortably in memory and the scalar walk is used instead.
@@ -305,6 +325,30 @@ def _narrow_lines(lines_t: "np.ndarray") -> "np.ndarray":
     return lines_t
 
 
+def _set_decompose(lines_t: "np.ndarray", num_sets: int):
+    """Group a line stream into contiguous per-set segments.
+
+    Returns ``(by_set, ls, counts)``: the stable argsort permutation (or
+    ``None``), the set-major line stream, and per-set access counts.  A
+    fully-associative cache (``num_sets == 1``) takes the fast path: the
+    stream already *is* the one set's segment in time order, so the
+    modulo decomposition and the stable argsort — the costliest stage of
+    the kernel — are skipped entirely (``sim.policy.fa_fastpath``).
+    """
+    total = len(lines_t)
+    if num_sets == 1:
+        obs.counter("sim.policy.fa_fastpath").inc()
+        return None, lines_t, np.array([total])
+    if num_sets & (num_sets - 1) == 0:
+        sets_t = lines_t & (num_sets - 1)
+    else:
+        sets_t = lines_t % num_sets
+    if num_sets <= 1 << 16:
+        sets_t = sets_t.astype(np.uint16)
+    by_set = np.argsort(sets_t, kind="stable")
+    return by_set, lines_t[by_set], np.bincount(sets_t, minlength=num_sets)
+
+
 def _probe_windows(prev_run, lo, width, cand, assoc, miss_run):
     """Settle candidate runs by counting distinct lines in their windows.
 
@@ -354,15 +398,7 @@ def lru_miss_kernel(
     """
     total = len(lines_t)
     lines_t = _narrow_lines(lines_t)
-    if num_sets & (num_sets - 1) == 0:
-        sets_t = lines_t & (num_sets - 1)
-    else:
-        sets_t = lines_t % num_sets
-    if num_sets <= 1 << 16:
-        sets_t = sets_t.astype(np.uint16)
-    by_set = np.argsort(sets_t, kind="stable")
-    ls = lines_t[by_set]
-    counts = np.bincount(sets_t, minlength=num_sets)
+    by_set, ls, counts = _set_decompose(lines_t, num_sets)
     seg_start = np.zeros(total, dtype=bool)
     starts = np.cumsum(counts) - counts
     seg_start[starts[counts > 0]] = True
@@ -439,9 +475,98 @@ def lru_miss_kernel(
                 )
                 retained = int(np.minimum(distinct_per_set, assoc).sum())
             evictions = int(miss_run.sum()) - retained
+    if by_set is None:
+        return miss_s, evictions
     miss_t = np.empty(total, dtype=bool)
     miss_t[by_set] = miss_s
     return miss_t, evictions
+
+
+def policy_miss_kernel(
+    lines_t: "np.ndarray",
+    num_sets: int,
+    assoc: int,
+    policy: str,
+    seed: int = 0,
+    want_evictions: bool = False,
+) -> Tuple["np.ndarray", Optional[int]]:
+    """Miss flags under a non-stack replacement policy (FIFO/PLRU/random).
+
+    Shares the vectorized trace stages with :func:`lru_miss_kernel` —
+    set decomposition (with the same fully-associative fast path) and
+    run compression — then replays **only the run heads** through the
+    scalar set machines of :mod:`repro.sim.policy`, one set segment at a
+    time.  Run compression is semantics-preserving for every registered
+    policy: an immediate re-access of the just-touched line hits and
+    leaves the set state unchanged, so non-head accesses can neither
+    miss nor perturb later decisions.  Bit-identical to
+    :class:`~repro.sim.policy.PolicyCache` by construction.
+    """
+    total = len(lines_t)
+    lines_t = _narrow_lines(lines_t)
+    by_set, ls, counts = _set_decompose(lines_t, num_sets)
+    is_head = np.zeros(total, dtype=bool)
+    if total:
+        is_head[0] = True
+        is_head[1:] = ls[1:] != ls[:-1]
+        if by_set is not None:
+            starts = np.cumsum(counts) - counts
+            is_head[starts[counts > 0]] = True
+    head_pos = np.flatnonzero(is_head)
+    run_line = ls[head_pos].tolist()
+    nrun = len(run_line)
+    miss_run = np.empty(nrun, dtype=bool)
+    machine_cls = SET_MACHINES[policy]
+    evictions = 0
+    if by_set is None:
+        machine = machine_cls(assoc, set_index=0, seed=seed)
+        access = machine.access
+        miss_run[:] = [not access(line) for line in run_line]
+        evictions = machine.evictions
+    else:
+        run_counts = np.bincount(
+            np.repeat(np.arange(num_sets), counts)[head_pos],
+            minlength=num_sets,
+        )
+        pos = 0
+        for s in np.flatnonzero(run_counts):
+            n = int(run_counts[s])
+            machine = machine_cls(assoc, set_index=int(s), seed=seed)
+            access = machine.access
+            miss_run[pos : pos + n] = [
+                not access(line) for line in run_line[pos : pos + n]
+            ]
+            evictions += machine.evictions
+            pos += n
+    miss_s = np.zeros(total, dtype=bool)
+    miss_s[head_pos] = miss_run
+    if by_set is None:
+        return miss_s, (evictions if want_evictions else None)
+    miss_t = np.empty(total, dtype=bool)
+    miss_t[by_set] = miss_s
+    return miss_t, (evictions if want_evictions else None)
+
+
+def miss_kernel(
+    lines_t: "np.ndarray",
+    num_sets: int,
+    assoc: int,
+    policy: str = "lru",
+    seed: int = 0,
+    want_evictions: bool = False,
+) -> Tuple["np.ndarray", Optional[int]]:
+    """Dispatch a line stream to the policy's miss kernel.
+
+    LRU takes the closed-form stack-distance kernel; every other policy
+    takes the run-head replay kernel.
+    """
+    if policy == "lru":
+        return lru_miss_kernel(
+            lines_t, num_sets, assoc, want_evictions=want_evictions
+        )
+    return policy_miss_kernel(
+        lines_t, num_sets, assoc, policy, seed, want_evictions=want_evictions
+    )
 
 
 # -- report assembly ------------------------------------------------------------------
@@ -453,11 +578,24 @@ def _tally(uids_t, miss_t, nref):
     return accesses, misses
 
 
+def _count_batch_report(report: SimReport, evictions: Optional[int]) -> None:
+    count_policy_run(report.policy)
+    obs.counter("sim.backend.batch.runs").inc()
+    obs.counter("sim.backend.batch.accesses").inc(report.total_accesses)
+    obs.counter("sim.accesses").inc(report.total_accesses)
+    obs.counter("sim.misses").inc(report.total_misses)
+    obs.counter("sim.hits").inc(report.total_accesses - report.total_misses)
+    if evictions is not None:
+        obs.counter("sim.evictions").inc(evictions)
+
+
 def simulate_batch(
     nprog: NormalizedProgram,
     layout: MemoryLayout,
     cache: CacheConfig,
     walker: Optional[Walker] = None,
+    policy: str = "lru",
+    seed: int = 0,
 ) -> SimReport:
     """Vectorized twin of :func:`repro.sim.simulate` (NumPy backend)."""
     started = time.perf_counter()
@@ -465,10 +603,12 @@ def simulate_batch(
         uids_t, addrs_t = trace_arrays(nprog, layout, walker)
     with obs.span("sim/batch"):
         want_ev = obs.is_enabled()
-        miss_t, evictions = lru_miss_kernel(
+        miss_t, evictions = miss_kernel(
             lines_of(addrs_t, cache.line_bytes),
             cache.num_sets,
             cache.assoc,
+            policy,
+            seed,
             want_evictions=want_ev,
         )
         nref = len(nprog.refs)
@@ -479,14 +619,9 @@ def simulate_batch(
         {r.uid: int(acc[r.uid]) for r in nprog.refs},
         {r.uid: int(mis[r.uid]) for r in nprog.refs},
         elapsed,
+        policy,
     )
-    obs.counter("sim.backend.batch.runs").inc()
-    obs.counter("sim.backend.batch.accesses").inc(report.total_accesses)
-    obs.counter("sim.accesses").inc(report.total_accesses)
-    obs.counter("sim.misses").inc(report.total_misses)
-    obs.counter("sim.hits").inc(report.total_accesses - report.total_misses)
-    if evictions is not None:
-        obs.counter("sim.evictions").inc(evictions)
+    _count_batch_report(report, evictions)
     return report
 
 
@@ -495,6 +630,8 @@ def simulate_sweep(
     layout: MemoryLayout,
     caches: Sequence[CacheConfig],
     walker: Optional[Walker] = None,
+    policy: str = "lru",
+    seed: int = 0,
 ) -> list:
     """Simulate one program against many cache configurations.
 
@@ -521,8 +658,13 @@ def simulate_sweep(
             lines = _narrow_lines(lines_of(addrs_t, cache.line_bytes))
             lines_by_size[cache.line_bytes] = lines
         with obs.span("sim/batch"):
-            miss_t, evictions = lru_miss_kernel(
-                lines, cache.num_sets, cache.assoc, want_evictions=want_ev
+            miss_t, evictions = miss_kernel(
+                lines,
+                cache.num_sets,
+                cache.assoc,
+                policy,
+                seed,
+                want_evictions=want_ev,
             )
             acc, mis = _tally(uids_t, miss_t, nref)
         report = SimReport(
@@ -530,16 +672,9 @@ def simulate_sweep(
             {r.uid: int(acc[r.uid]) for r in nprog.refs},
             {r.uid: int(mis[r.uid]) for r in nprog.refs},
             time.perf_counter() - started,
+            policy,
         )
-        obs.counter("sim.backend.batch.runs").inc()
-        obs.counter("sim.backend.batch.accesses").inc(report.total_accesses)
-        obs.counter("sim.accesses").inc(report.total_accesses)
-        obs.counter("sim.misses").inc(report.total_misses)
-        obs.counter("sim.hits").inc(
-            report.total_accesses - report.total_misses
-        )
-        if evictions is not None:
-            obs.counter("sim.evictions").inc(evictions)
+        _count_batch_report(report, evictions)
         reports.append(report)
     if reports:
         # Attribute the one-off trace build to the first report's clock,
@@ -553,6 +688,8 @@ def simulate_trace_arrays(
     addrs: "np.ndarray",
     cache: CacheConfig,
     refs: Optional[Sequence[NRef]] = None,
+    policy: str = "lru",
+    seed: int = 0,
 ) -> SimReport:
     """Simulate a decoded ``(uids, addresses)`` trace (NumPy backend).
 
@@ -560,6 +697,8 @@ def simulate_trace_arrays(
     uid outside them raises :class:`~repro.errors.InvariantError` — a
     silently dropped tally would skew every aggregate ratio.  Without
     ``refs``, the report is keyed by the uids present in the trace.
+    Reports the same ``sim.*`` counters as walker-driven simulation, so
+    trace replays are observable too.
     """
     started = time.perf_counter()
     uids = np.asarray(uids)
@@ -569,8 +708,13 @@ def simulate_trace_arrays(
     if refs is not None:
         _check_uids_array(uids, refs)
     with obs.span("sim/batch"):
-        miss_t, _ = lru_miss_kernel(
-            lines_of(addrs, cache.line_bytes), cache.num_sets, cache.assoc
+        miss_t, evictions = miss_kernel(
+            lines_of(addrs, cache.line_bytes),
+            cache.num_sets,
+            cache.assoc,
+            policy,
+            seed,
+            want_evictions=obs.is_enabled(),
         )
         if refs is not None:
             nref = max((r.uid for r in refs), default=-1) + 1
@@ -583,7 +727,66 @@ def simulate_trace_arrays(
             present = np.flatnonzero(acc)
             accesses = {int(u): int(acc[u]) for u in present}
             misses = {int(u): int(mis[u]) for u in present}
-    return SimReport(cache, accesses, misses, time.perf_counter() - started)
+    report = SimReport(
+        cache, accesses, misses, time.perf_counter() - started, policy
+    )
+    _count_batch_report(report, evictions)
+    return report
+
+
+def simulate_hierarchy_batch(
+    nprog: NormalizedProgram,
+    layout: MemoryLayout,
+    l1_cache: CacheConfig,
+    l2_cache: CacheConfig,
+    walker: Optional[Walker] = None,
+    policy: str = "lru",
+    l2_policy: str = "lru",
+    seed: int = 0,
+    miss_trace_path=None,
+) -> HierarchyReport:
+    """Vectorized twin of :func:`repro.sim.simulate_hierarchy`.
+
+    The trace is built once; the L1 kernel's miss mask then *filters*
+    the uid/address arrays into the L1 miss stream, which replays
+    through :func:`simulate_trace_arrays` as the L2 — the array form of
+    the ``RPCT`` pair stream :func:`~repro.sim.tracefile.write_trace`
+    persists when ``miss_trace_path`` is given.
+    """
+    started = time.perf_counter()
+    with obs.span("sim/decode"):
+        uids_t, addrs_t = trace_arrays(nprog, layout, walker)
+    with obs.span("sim/batch"):
+        miss_t, evictions = miss_kernel(
+            lines_of(addrs_t, l1_cache.line_bytes),
+            l1_cache.num_sets,
+            l1_cache.assoc,
+            policy,
+            seed,
+            want_evictions=obs.is_enabled(),
+        )
+        nref = len(nprog.refs)
+        acc, mis = _tally(uids_t, miss_t, nref)
+    l1 = SimReport(
+        l1_cache,
+        {r.uid: int(acc[r.uid]) for r in nprog.refs},
+        {r.uid: int(mis[r.uid]) for r in nprog.refs},
+        time.perf_counter() - started,
+        policy,
+    )
+    _count_batch_report(l1, evictions)
+    uids_m = uids_t[miss_t]
+    addrs_m = addrs_t[miss_t]
+    if miss_trace_path is not None:
+        from repro.sim import tracefile
+
+        tracefile.write_trace(
+            miss_trace_path, zip(uids_m.tolist(), addrs_m.tolist())
+        )
+    l2 = simulate_trace_arrays(
+        uids_m, addrs_m, l2_cache, refs=nprog.refs, policy=l2_policy, seed=seed
+    )
+    return HierarchyReport(l1, l2)
 
 
 def _check_uids_array(uids, refs: Sequence[NRef]) -> None:

@@ -1,13 +1,15 @@
 """Whole-program cache simulation driven by the access-order walker.
 
 Two interchangeable backends produce **bit-identical** per-reference
-tallies (the trace-level differential suite asserts it case for case):
+tallies (the trace-level differential suite asserts it case for case,
+for every replacement policy):
 
-* ``"scalar"`` — walk the program access by access through the
-  :class:`~repro.sim.cache.SetAssocLRUCache` state machine (pure Python,
-  zero dependencies, streams without materialising the trace);
-* ``"numpy"`` — materialise the trace as arrays and decide every miss at
-  once with the stack-distance kernel of :mod:`repro.sim.batch`.
+* ``"scalar"`` — walk the program access by access through a per-set
+  state machine (:mod:`repro.sim.policy`; pure Python, zero
+  dependencies, streams without materialising the trace);
+* ``"numpy"`` — materialise the trace as arrays and decide misses with
+  the per-policy set kernels of :mod:`repro.sim.batch` (closed-form
+  stack distances for LRU, run-compressed set replay for the rest).
 
 Backend names, defaulting and degradation follow
 :func:`repro.cme.backend.resolve_backend` — the same resolve/degrade
@@ -15,13 +17,20 @@ contract as the classification backends, so ``backend=None`` means NumPy
 when installed and the scalar walker otherwise.  Traces too large to
 materialise degrade to the scalar walk as well (counted under
 ``sim.backend.fallbacks``).
+
+The replacement policy (``policy=`` on every entry point; see
+:mod:`repro.sim.policy`) defaults to the paper's LRU; ``seed`` feeds the
+deterministic random-replacement victim draw and is ignored by the
+deterministic policies.  :func:`simulate_hierarchy` stacks two levels by
+feeding the L1 miss stream — the same ``(ref_uid, address)`` pairs the
+``RPCT`` trace format carries — into an L2 :func:`simulate_trace` call.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple, Union
 
 from repro import obs
 from repro.cme.backend import resolve_backend
@@ -30,7 +39,12 @@ from repro.layout.cache import CacheConfig
 from repro.layout.memory import MemoryLayout
 from repro.normalize.nprogram import NormalizedProgram, NRef
 from repro.iteration.walker import Walker
-from repro.sim.cache import SetAssocLRUCache
+from repro.sim.policy import (
+    check_policy_geometry,
+    count_policy_run,
+    make_cache,
+    resolve_policy,
+)
 
 
 @dataclass
@@ -41,6 +55,7 @@ class SimReport:
     accesses: dict[int, int] = field(default_factory=dict)  # by NRef uid
     misses: dict[int, int] = field(default_factory=dict)
     elapsed_seconds: float = 0.0
+    policy: str = "lru"
 
     @property
     def total_accesses(self) -> int:
@@ -63,10 +78,51 @@ class SimReport:
         """Overall miss ratio as a percentage (the paper's unit)."""
         return 100.0 * self.miss_ratio
 
+    @property
+    def hit_ratio_percent(self) -> float:
+        """Overall hit ratio as a percentage (the geometry-sweep unit)."""
+        return 100.0 - self.miss_ratio_percent
+
     def ref_miss_ratio(self, ref: NRef) -> float:
         """Miss ratio of a single reference."""
         a = self.accesses.get(ref.uid, 0)
         return self.misses.get(ref.uid, 0) / a if a else 0.0
+
+
+@dataclass
+class HierarchyReport:
+    """A two-level (L1 → L2) simulation: the L2 sees only L1 misses."""
+
+    l1: SimReport
+    l2: SimReport
+
+    @property
+    def total_accesses(self) -> int:
+        """Processor-issued accesses (what the L1 sees)."""
+        return self.l1.total_accesses
+
+    @property
+    def l1_miss_ratio_percent(self) -> float:
+        """L1 miss ratio over processor accesses."""
+        return self.l1.miss_ratio_percent
+
+    @property
+    def l2_local_miss_ratio_percent(self) -> float:
+        """L2 miss ratio over the accesses the L2 actually saw."""
+        return self.l2.miss_ratio_percent
+
+    @property
+    def global_miss_ratio_percent(self) -> float:
+        """Accesses missing *both* levels, over processor accesses."""
+        total = self.l1.total_accesses
+        if not total:
+            return 0.0
+        return 100.0 * self.l2.total_misses / total
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Combined wall time of both levels."""
+        return self.l1.elapsed_seconds + self.l2.elapsed_seconds
 
 
 def simulate(
@@ -75,51 +131,140 @@ def simulate(
     cache: CacheConfig,
     walker: Walker | None = None,
     backend: Optional[str] = None,
+    policy: Optional[str] = None,
+    seed: int = 0,
 ) -> SimReport:
     """Simulate the full access trace of a normalised program.
 
-    ``backend`` selects ``"numpy"`` (vectorized stack-distance kernel) or
-    ``"scalar"`` (walker + LRU state machine); ``None``/``"auto"`` pick
-    NumPy when installed.  Both backends report identical per-reference
-    accesses and misses.
+    ``backend`` selects ``"numpy"`` (vectorized set kernels) or
+    ``"scalar"`` (walker + per-set state machines); ``None``/``"auto"``
+    pick NumPy when installed.  ``policy`` selects the replacement
+    policy (:mod:`repro.sim.policy`; default LRU) and ``seed`` feeds the
+    random policy's deterministic victim draw.  Both backends report
+    identical per-reference accesses and misses for every policy.
     """
+    policy = resolve_policy(policy)
+    check_policy_geometry(policy, cache)
     if resolve_backend(backend) == "numpy":
         from repro.sim import batch
 
         try:
-            return batch.simulate_batch(nprog, layout, cache, walker=walker)
+            return batch.simulate_batch(
+                nprog, layout, cache, walker=walker, policy=policy, seed=seed
+            )
         except batch.TraceTooLargeError:
             obs.counter("sim.backend.fallbacks").inc()
-    return _simulate_scalar(nprog, layout, cache, walker)
+    return _simulate_scalar(nprog, layout, cache, walker, policy, seed)
+
+
+def normalize_assocs(assocs: Sequence[int]) -> list[int]:
+    """Canonicalise an associativity sweep: validated, deduped, sorted.
+
+    ``simulate_sweep`` used to accept duplicate and unsorted
+    associativity lists silently, simulating duplicates twice and
+    returning curves out of order; sweeps are now canonicalised here and
+    non-positive (or non-integer) values raise
+    :class:`~repro.errors.InvariantError` instead of building a
+    nonsensical :class:`CacheConfig` further down.
+    """
+    cleaned = []
+    for a in assocs:
+        if isinstance(a, bool) or not isinstance(a, int) or a <= 0:
+            raise InvariantError(
+                f"associativity sweep values must be positive integers, "
+                f"got {a!r}"
+            )
+        cleaned.append(a)
+    return sorted(set(cleaned))
+
+
+def assoc_sweep_caches(
+    base: CacheConfig, assocs: Sequence[int]
+) -> list[CacheConfig]:
+    """Cache configurations for a hit-rate-vs-associativity sweep.
+
+    Capacity and line size come from ``base``; ``assocs`` is
+    canonicalised by :func:`normalize_assocs`.  An associativity the
+    capacity cannot express (``size % (line × k) != 0``) raises
+    :class:`~repro.errors.InvariantError`.
+    """
+    caches = []
+    for a in normalize_assocs(assocs):
+        if base.size_bytes % (base.line_bytes * a):
+            raise InvariantError(
+                f"cache size {base.size_bytes} cannot hold {a} ways of "
+                f"{base.line_bytes}B lines"
+            )
+        caches.append(CacheConfig(base.size_bytes, base.line_bytes, a))
+    return caches
 
 
 def simulate_sweep(
     nprog: NormalizedProgram,
     layout: MemoryLayout,
-    caches: Sequence[CacheConfig],
+    caches: Union[Sequence[CacheConfig], CacheConfig, None] = None,
     walker: Walker | None = None,
     backend: Optional[str] = None,
+    policy: Optional[str] = None,
+    seed: int = 0,
+    assocs: Optional[Sequence[int]] = None,
 ) -> list[SimReport]:
     """Simulate one program against a sweep of cache configurations.
 
     The access trace does not depend on the cache, so the NumPy backend
-    builds it once and re-runs only the per-configuration stack-distance
-    kernel — the shape of the paper's Table 6 validation columns.  The
-    scalar backend walks the program once per cache.  Reports are
-    returned in ``caches`` order and are bit-identical to per-cache
-    :func:`simulate` calls.
+    builds it once and re-runs only the per-configuration set kernel —
+    the shape of the paper's Table 6 validation columns.  The scalar
+    backend walks the program once per cache.
+
+    Two request shapes:
+
+    * ``caches`` — an explicit configuration list.  Reports come back in
+      ``caches`` order with exact duplicates simulated (and reported)
+      once, first occurrence kept.
+    * ``caches`` a single *base* :class:`CacheConfig` plus ``assocs`` —
+      an associativity sweep at the base's capacity and line size,
+      canonicalised by :func:`normalize_assocs` (deduplicated, sorted
+      ascending; non-positive values raise
+      :class:`~repro.errors.InvariantError`).
+
+    Either way every report is bit-identical to a per-cache
+    :func:`simulate` call with the same ``policy``/``seed``.
     """
-    caches = list(caches)
+    policy = resolve_policy(policy)
+    if assocs is not None:
+        if not isinstance(caches, CacheConfig):
+            raise InvariantError(
+                "an associativity sweep needs a single base CacheConfig "
+                "(capacity + line size) in the caches argument"
+            )
+        caches = assoc_sweep_caches(caches, assocs)
+    elif isinstance(caches, CacheConfig):
+        caches = [caches]
+    else:
+        deduped: list[CacheConfig] = []
+        seen = set()
+        for cache in caches or ():
+            if cache not in seen:
+                seen.add(cache)
+                deduped.append(cache)
+        caches = deduped
+    for cache in caches:
+        check_policy_geometry(policy, cache)
     if caches and resolve_backend(backend) == "numpy":
         from repro.sim import batch
 
         try:
-            return batch.simulate_sweep(nprog, layout, caches, walker=walker)
+            return batch.simulate_sweep(
+                nprog, layout, caches, walker=walker, policy=policy, seed=seed
+            )
         except batch.TraceTooLargeError:
             obs.counter("sim.backend.fallbacks").inc()
     if walker is None and caches:
         walker = Walker(nprog, layout)
-    return [_simulate_scalar(nprog, layout, c, walker) for c in caches]
+    return [
+        _simulate_scalar(nprog, layout, c, walker, policy, seed)
+        for c in caches
+    ]
 
 
 def _simulate_scalar(
@@ -127,10 +272,12 @@ def _simulate_scalar(
     layout: MemoryLayout,
     cache: CacheConfig,
     walker: Walker | None = None,
+    policy: str = "lru",
+    seed: int = 0,
 ) -> SimReport:
-    """The walker-driven scalar simulation (LRU dicts, one access at a time)."""
+    """The walker-driven scalar simulation (one access at a time)."""
     walker = walker if walker is not None else Walker(nprog, layout)
-    state = SetAssocLRUCache(cache)
+    state = make_cache(cache, policy, seed)
     accesses = {r.uid: 0 for r in nprog.refs}
     misses = {r.uid: 0 for r in nprog.refs}
     line_bytes = cache.line_bytes
@@ -147,8 +294,9 @@ def _simulate_scalar(
     with obs.span("sim/walk"):
         walker.walk(visit)
     elapsed = time.perf_counter() - started
-    report = SimReport(cache, accesses, misses, elapsed)
+    report = SimReport(cache, accesses, misses, elapsed, policy)
     # Bulk counters after the walk — nothing observable in the hot loop.
+    count_policy_run(policy)
     obs.counter("sim.accesses").inc(report.total_accesses)
     obs.counter("sim.misses").inc(report.total_misses)
     obs.counter("sim.hits").inc(report.total_accesses - report.total_misses)
@@ -161,6 +309,8 @@ def simulate_trace(
     cache: CacheConfig,
     refs: Optional[Sequence[NRef]] = None,
     backend: Optional[str] = None,
+    policy: Optional[str] = None,
+    seed: int = 0,
 ) -> SimReport:
     """Simulate an explicit ``(ref_uid, address)`` trace.
 
@@ -169,11 +319,13 @@ def simulate_trace(
     ``refs`` (the program's references), tallies are keyed by those
     references and a trace uid the program does not define raises
     :class:`~repro.errors.InvariantError` instead of silently dropping
-    the tally.  ``backend`` selects the simulator exactly as in
-    :func:`simulate`.
+    the tally.  ``backend`` and ``policy`` select the simulator exactly
+    as in :func:`simulate`.
     """
     from repro.sim import tracefile
 
+    policy = resolve_policy(policy)
+    check_policy_geometry(policy, cache)
     is_path = isinstance(source, (str, bytes)) or hasattr(source, "__fspath__")
     if resolve_backend(backend) == "numpy":
         import numpy as np
@@ -191,16 +343,105 @@ def simulate_trace(
                 addrs = np.fromiter(
                     (a for _, a in pairs), np.int64, count=len(pairs)
                 )
-        return batch.simulate_trace_arrays(uids, addrs, cache, refs=refs)
+        return batch.simulate_trace_arrays(
+            uids, addrs, cache, refs=refs, policy=policy, seed=seed
+        )
     with obs.span("sim/decode"):
         pairs = tracefile.read_trace(source) if is_path else list(source)
-    return _replay_scalar(pairs, cache, refs)
+    return _replay_scalar(pairs, cache, refs, policy, seed)
+
+
+def simulate_hierarchy(
+    nprog: NormalizedProgram,
+    layout: MemoryLayout,
+    l1_cache: CacheConfig,
+    l2_cache: CacheConfig,
+    walker: Walker | None = None,
+    backend: Optional[str] = None,
+    policy: Optional[str] = None,
+    l2_policy: Optional[str] = None,
+    seed: int = 0,
+    miss_trace_path=None,
+) -> HierarchyReport:
+    """Simulate a two-level cache hierarchy (L1 feeding L2).
+
+    The L1 runs the full program trace; every L1 *miss* is forwarded —
+    as the same ``(ref_uid, address)`` stream the ``RPCT`` trace format
+    carries — into an L2 :func:`simulate_trace` call, so the L2 model is
+    exactly the single-level simulator replaying the L1 miss stream.
+    ``l2_policy`` defaults to ``policy``; ``miss_trace_path`` optionally
+    persists the L1 miss stream as a binary ``RPCT`` trace for offline
+    replay.  Both backends are bit-identical level by level.
+    """
+    policy = resolve_policy(policy)
+    l2_policy = policy if l2_policy is None else resolve_policy(l2_policy)
+    check_policy_geometry(policy, l1_cache)
+    check_policy_geometry(l2_policy, l2_cache)
+    if resolve_backend(backend) == "numpy":
+        from repro.sim import batch
+
+        try:
+            return batch.simulate_hierarchy_batch(
+                nprog,
+                layout,
+                l1_cache,
+                l2_cache,
+                walker=walker,
+                policy=policy,
+                l2_policy=l2_policy,
+                seed=seed,
+                miss_trace_path=miss_trace_path,
+            )
+        except batch.TraceTooLargeError:
+            obs.counter("sim.backend.fallbacks").inc()
+    walker = walker if walker is not None else Walker(nprog, layout)
+    state = make_cache(l1_cache, policy, seed)
+    accesses = {r.uid: 0 for r in nprog.refs}
+    misses = {r.uid: 0 for r in nprog.refs}
+    miss_stream: list[Tuple[int, int]] = []
+    line_bytes = l1_cache.line_bytes
+    access_line = state.access_line
+
+    def visit(cr, addr) -> bool:
+        uid = cr.nref.uid
+        accesses[uid] += 1
+        if not access_line(addr // line_bytes):
+            misses[uid] += 1
+            miss_stream.append((uid, addr))
+        return False
+
+    started = time.perf_counter()
+    with obs.span("sim/walk"):
+        walker.walk(visit)
+    l1 = SimReport(
+        l1_cache, accesses, misses, time.perf_counter() - started, policy
+    )
+    count_policy_run(policy)
+    obs.counter("sim.accesses").inc(l1.total_accesses)
+    obs.counter("sim.misses").inc(l1.total_misses)
+    obs.counter("sim.hits").inc(l1.total_accesses - l1.total_misses)
+    obs.counter("sim.evictions").inc(state.evictions)
+    if miss_trace_path is not None:
+        from repro.sim import tracefile
+
+        tracefile.write_trace(miss_trace_path, miss_stream)
+    l2 = simulate_trace(
+        miss_stream,
+        l2_cache,
+        refs=nprog.refs,
+        backend="scalar",
+        policy=l2_policy,
+        seed=seed,
+    )
+    return HierarchyReport(l1, l2)
 
 
 def _replay_scalar(
     pairs: Sequence[Tuple[int, int]],
     cache: CacheConfig,
     refs: Optional[Sequence[NRef]],
+    policy: str = "lru",
+    seed: int = 0,
 ) -> SimReport:
     started = time.perf_counter()
     if refs is not None:
@@ -211,7 +452,7 @@ def _replay_scalar(
         accesses = {}
         misses = {}
         known = None
-    state = SetAssocLRUCache(cache)
+    state = make_cache(cache, policy, seed)
     access_line = state.access_line
     line_bytes = cache.line_bytes
     with obs.span("sim/replay"):
@@ -226,4 +467,14 @@ def _replay_scalar(
                 misses[uid] = misses.get(uid, 0) + 1
     for uid in accesses:
         misses.setdefault(uid, 0)
-    return SimReport(cache, accesses, misses, time.perf_counter() - started)
+    report = SimReport(
+        cache, accesses, misses, time.perf_counter() - started, policy
+    )
+    # Trace replays report the same sim.* counters as walker-driven
+    # simulation — the backend/policy choice must be observable here too.
+    count_policy_run(policy)
+    obs.counter("sim.accesses").inc(report.total_accesses)
+    obs.counter("sim.misses").inc(report.total_misses)
+    obs.counter("sim.hits").inc(report.total_accesses - report.total_misses)
+    obs.counter("sim.evictions").inc(state.evictions)
+    return report

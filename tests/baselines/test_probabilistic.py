@@ -106,3 +106,94 @@ class TestReport:
             mmt.nprog, mmt.layout, cache, reuse=mmt.reuse_table(cache.line_bytes)
         )
         assert report.elapsed_seconds < 5.0
+
+
+class TestRandomReplacementEquation:
+    """The random-policy closed form: p_evict = 1 - (1 - 1/(S·k))^F."""
+
+    @pytest.fixture(scope="class")
+    def mmt(self):
+        return prepare(build_mmt(24, 12, 6))
+
+    def test_ratio_in_unit_interval(self, mmt):
+        cache = CacheConfig.kb(1, 32, 2)
+        report = probabilistic_misses(
+            mmt.nprog, mmt.layout, cache, policy="random"
+        )
+        assert 0.0 <= report.miss_ratio <= 1.0
+        assert report.total_accesses > 0
+
+    def test_policy_none_and_auto_mean_lru(self, mmt):
+        cache = CacheConfig.kb(1, 32, 2)
+        reuse = mmt.reuse_table(cache.line_bytes)
+        lru = probabilistic_misses(mmt.nprog, mmt.layout, cache, reuse=reuse)
+        for alias in (None, "auto", "lru"):
+            aliased = probabilistic_misses(
+                mmt.nprog, mmt.layout, cache, reuse=reuse, policy=alias
+            )
+            assert aliased.ref_ratios == lru.ref_ratios
+
+    def test_random_differs_from_lru_under_contention(self, mmt):
+        cache = CacheConfig.kb(1, 32, 2)
+        reuse = mmt.reuse_table(cache.line_bytes)
+        lru = probabilistic_misses(mmt.nprog, mmt.layout, cache, reuse=reuse)
+        rnd = probabilistic_misses(
+            mmt.nprog, mmt.layout, cache, reuse=reuse, policy="random"
+        )
+        assert rnd.ref_ratios != lru.ref_ratios
+
+    def test_random_moves_the_same_way_as_the_simulator(self, mmt):
+        """Directional consistency: the footprint approximation makes the
+        absolute figures loose (the Table 7 weakness), but switching
+        LRU → random must move the analytical prediction the same way it
+        moves the simulator on a contended configuration."""
+        cache = CacheConfig.kb(1, 32, 2)
+        sim_lru = run_simulation(mmt, cache).miss_ratio_percent
+        sim_rnd = run_simulation(
+            mmt, cache, policy="random", seed=0
+        ).miss_ratio_percent
+        reuse = mmt.reuse_table(cache.line_bytes)
+        prob_lru = probabilistic_misses(
+            mmt.nprog, mmt.layout, cache, reuse=reuse
+        ).miss_ratio_percent
+        prob_rnd = probabilistic_misses(
+            mmt.nprog, mmt.layout, cache, reuse=reuse, policy="random"
+        ).miss_ratio_percent
+        assert sim_rnd > sim_lru  # random loses to LRU here...
+        assert prob_rnd > prob_lru  # ...and the model agrees in direction
+
+    def test_unsupported_policies_raise(self, mmt):
+        from repro.errors import ReproError
+
+        cache = CacheConfig.kb(1, 32, 2)
+        for policy in ("fifo", "plru"):
+            with pytest.raises(ReproError, match="no probabilistic"):
+                probabilistic_misses(
+                    mmt.nprog, mmt.layout, cache, policy=policy
+                )
+
+    def test_random_needs_no_scipy(self, mmt, monkeypatch):
+        """The random branch must not import scipy (the LRU import is
+        lazy so NumPy-only environments can still use it)."""
+        import builtins
+        import sys
+
+        real_import = builtins.__import__
+
+        def no_scipy(name, *args, **kwargs):
+            if name.startswith("scipy"):
+                raise ImportError("scipy blocked for this test")
+            return real_import(name, *args, **kwargs)
+
+        monkeypatch.delitem(sys.modules, "scipy.stats", raising=False)
+        monkeypatch.delitem(sys.modules, "scipy", raising=False)
+        monkeypatch.setattr(builtins, "__import__", no_scipy)
+        cache = CacheConfig.kb(1, 32, 2)
+        report = probabilistic_misses(
+            mmt.nprog,
+            mmt.layout,
+            cache,
+            reuse=mmt.reuse_table(cache.line_bytes),
+            policy="random",
+        )
+        assert 0.0 <= report.miss_ratio <= 1.0

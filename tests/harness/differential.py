@@ -239,6 +239,44 @@ def generate_cases(count: int, seed: int = 20260806) -> list[Case]:
     return cases
 
 
+def check_policy_bit_identity(
+    case: Case,
+    policy: str,
+    seed: int = 0,
+    prepared=None,
+) -> list[str]:
+    """Diff scalar vs vectorized simulation under one replacement policy.
+
+    Non-LRU policies have no closed-form kernel — the vectorized engine
+    replays run heads through the same set machines — so bit-identity
+    here checks the run-compression and set-decomposition stages for
+    every policy.  ``prepared`` (a ``(nprog, layout)`` pair) lets callers
+    amortise normalisation across the per-policy sweeps.  PLRU cases
+    with a non-power-of-two associativity are skipped (the policy
+    rejects the geometry by contract).
+    """
+    from repro.sim.policy import check_policy_geometry
+    from repro.errors import ReproError
+
+    try:
+        check_policy_geometry(policy, case.cache)
+    except ReproError:
+        return []
+    nprog, layout = prepared if prepared is not None else case.prepared()
+    scalar = simulate(
+        nprog, layout, case.cache, backend="scalar", policy=policy, seed=seed
+    )
+    batch = simulate(
+        nprog, layout, case.cache, backend="numpy", policy=policy, seed=seed
+    )
+    failures = []
+    if batch.accesses != scalar.accesses:
+        failures.append(f"{case.name} [{policy}]: access tallies diverge")
+    if batch.misses != scalar.misses:
+        failures.append(f"{case.name} [{policy}]: miss tallies diverge")
+    return failures
+
+
 # -- the two legs ---------------------------------------------------------------------
 
 

@@ -48,6 +48,7 @@ GOLDEN_COUNTERS = {
     "sim.evictions",
     "sim.hits",
     "sim.misses",
+    "sim.policy.lru",
 }
 
 #: Only recorded when the vectorized simulator backend actually runs.

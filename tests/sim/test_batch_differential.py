@@ -12,6 +12,12 @@ must be **bit-identical** to :class:`~repro.sim.cache.SetAssocLRUCache`:
   independent per-leaf-enumeration oracle;
 * replaying an exported trace file (:func:`simulate_trace`) matches the
   in-memory simulation on both backends.
+
+This module pins the default (LRU) engine; the same 210-case pool is
+re-run once per replacement policy — FIFO, tree-PLRU and seeded-random
+via the run-head-replay kernel — in
+``tests/sim/test_policy_differential.py`` (ISSUE 8), which also pins the
+LRU inclusion property and FIFO's Belady anomaly.
 """
 
 from __future__ import annotations

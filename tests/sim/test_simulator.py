@@ -313,3 +313,115 @@ class TestSimulateTrace:
         report = simulate_trace(trace, CacheConfig.kb(1, 32, 1), backend=backend)
         assert report.accesses == {3: 2, 9: 1}
         assert report.misses == {3: 1, 9: 1}
+
+
+class TestSweepValidation:
+    """Regression: ``simulate_sweep`` used to accept duplicate and
+    unsorted associativity lists silently — duplicates were simulated
+    (and reported) twice and curves came back out of order; non-positive
+    values built nonsensical geometries instead of failing fast."""
+
+    def _scan(self):
+        pb = ProgramBuilder("SWEEPV")
+        a = pb.array("A", (64,))
+        with pb.subroutine("MAIN"):
+            with pb.do("T", 1, 2):
+                with pb.do("I", 1, 64) as i:
+                    pb.assign(a[i])
+        return analyse_ready(pb)
+
+    @pytest.mark.parametrize("backend", ["scalar", "numpy"])
+    def test_assoc_sweep_dedupes_and_sorts(self, backend):
+        if backend == "numpy":
+            pytest.importorskip("numpy")
+        from repro.sim import simulate_sweep
+
+        nprog, layout = self._scan()
+        base = CacheConfig.kb(2, 32, 4)
+        reports = simulate_sweep(
+            nprog, layout, base, backend=backend, assocs=[4, 1, 2, 2, 1, 4]
+        )
+        assert [r.cache.assoc for r in reports] == [1, 2, 4]
+        for report in reports:
+            assert report.cache.size_bytes == base.size_bytes
+            assert report.cache.line_bytes == base.line_bytes
+            direct = simulate(nprog, layout, report.cache, backend=backend)
+            assert report.accesses == direct.accesses
+            assert report.misses == direct.misses
+
+    @pytest.mark.parametrize("bad", [0, -2, 1.5, True, "2"])
+    def test_invalid_assoc_values_raise(self, bad):
+        from repro.errors import InvariantError
+        from repro.sim import normalize_assocs
+
+        with pytest.raises(InvariantError, match="positive integers"):
+            normalize_assocs([1, bad])
+
+    def test_normalize_assocs_canonicalises(self):
+        from repro.sim import normalize_assocs
+
+        assert normalize_assocs([8, 2, 2, 4, 8]) == [2, 4, 8]
+
+    def test_inexpressible_assoc_raises(self):
+        from repro.errors import InvariantError
+        from repro.sim import assoc_sweep_caches
+
+        with pytest.raises(InvariantError, match="cannot hold 3 ways"):
+            assoc_sweep_caches(CacheConfig.kb(2, 32, 1), [3])
+
+    def test_assocs_needs_a_single_base_config(self):
+        from repro.errors import InvariantError
+        from repro.sim import simulate_sweep
+
+        nprog, layout = self._scan()
+        with pytest.raises(InvariantError, match="single base CacheConfig"):
+            simulate_sweep(
+                nprog,
+                layout,
+                [CacheConfig.kb(1, 32, 1), CacheConfig.kb(1, 32, 2)],
+                assocs=[1, 2],
+            )
+
+    @pytest.mark.parametrize("backend", ["scalar", "numpy"])
+    def test_duplicate_caches_simulated_once(self, backend):
+        if backend == "numpy":
+            pytest.importorskip("numpy")
+        from repro.sim import simulate_sweep
+
+        nprog, layout = self._scan()
+        c1 = CacheConfig.kb(1, 32, 2)
+        c2 = CacheConfig.kb(1, 32, 1)
+        reports = simulate_sweep(
+            nprog, layout, [c1, c2, c1], backend=backend
+        )
+        assert [r.cache for r in reports] == [c1, c2]
+
+    def test_single_base_config_without_assocs_is_one_report(self):
+        from repro.sim import simulate_sweep
+
+        nprog, layout = self._scan()
+        cache = CacheConfig.kb(1, 32, 2)
+        (report,) = simulate_sweep(nprog, layout, cache, backend="scalar")
+        assert report.cache == cache
+
+    @pytest.mark.parametrize("backend", ["scalar", "numpy"])
+    def test_sweep_carries_the_policy(self, backend):
+        if backend == "numpy":
+            pytest.importorskip("numpy")
+        from repro.sim import simulate_sweep
+
+        nprog, layout = self._scan()
+        reports = simulate_sweep(
+            nprog,
+            layout,
+            CacheConfig.kb(1, 32, 4),
+            backend=backend,
+            policy="fifo",
+            assocs=[1, 2, 4],
+        )
+        assert {r.policy for r in reports} == {"fifo"}
+        for report in reports:
+            direct = simulate(
+                nprog, layout, report.cache, backend=backend, policy="fifo"
+            )
+            assert report.misses == direct.misses

@@ -354,3 +354,99 @@ class TestTraceVerbs:
         bad.write_bytes(b"junk")
         with pytest.raises(SystemExit, match="too short"):
             main(["trace", "simulate", str(bad), "--cache", "1:16:1"])
+
+
+class TestPolicyFlags:
+    """The cache-model zoo surface: --policy/--policy-seed/--l2-cache."""
+
+    POLICIES = ("lru", "fifo", "plru", "random")
+
+    def test_trace_verbs_policy_backend_matrix(self, tmp_path, capsys):
+        """All three trace verbs, every policy, both backends."""
+        # export: the walk is policy-independent; one file feeds the matrix.
+        trace = tmp_path / "hydro.trace"
+        assert main(
+            ["trace", "export", "hydro", "--size", "16", "-o", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        # import: a raw address file converted then replayed per policy.
+        raw = tmp_path / "raw.addr"
+        raw.write_bytes(
+            b"".join((i * 32).to_bytes(4, "big") for i in [0, 1, 2, 0, 1, 2])
+        )
+        imported = tmp_path / "ext.trace"
+        assert main(["trace", "import", str(raw), "-o", str(imported)]) == 0
+        capsys.readouterr()
+        # simulate: policy × backend, bit-identical output per policy.
+        for source in (trace, imported):
+            for policy in self.POLICIES:
+                outputs = set()
+                for backend in ("scalar", "numpy"):
+                    rc = main(
+                        ["trace", "simulate", str(source),
+                         "--cache", "2:32:2", "--sim-backend", backend,
+                         "--policy", policy, "--policy-seed", "5"]
+                    )
+                    assert rc == 0
+                    out = capsys.readouterr().out
+                    assert f"({policy})" in out
+                    assert "miss ratio" in out
+                    outputs.add(out.split("accesses")[0])
+                assert len(outputs) == 1, (source, policy, outputs)
+
+    def test_simulate_policy_flag(self, capsys):
+        rc = main(["simulate", "hydro", "--size", "16",
+                   "--cache", "2:32:2", "--policy", "plru"])
+        assert rc == 0
+        assert "(plru)" in capsys.readouterr().out
+
+    def test_simulate_l2_hierarchy(self, capsys):
+        rc = main(["simulate", "hydro", "--size", "16",
+                   "--cache", "1:32:2", "--l2-cache", "8:32:4",
+                   "--l2-policy", "random"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "L1 miss ratio" in out
+        assert "L2 local" in out
+        assert "(random)" in out
+        assert "global" in out
+
+    def test_compare_random_policy_deterministic_across_jobs(self, capsys):
+        rows = []
+        for jobs in ("1", "2"):
+            rc = main(["compare", "hydro", "--size", "16",
+                       "--cache", "2:32:2", "--policy", "random",
+                       "--policy-seed", "9", "--jobs", jobs, "--quiet"])
+            assert rc == 0
+            out = capsys.readouterr().out
+            (sim_row,) = [
+                line for line in out.splitlines()
+                if line.startswith("Simulator (random)")
+            ]
+            # Keep the miss figures, drop the timing column.
+            rows.append(sim_row.rsplit("|", 1)[0])
+        assert rows[0] == rows[1]
+
+    def test_trace_simulate_reports_sim_counters(self, tmp_path, capsys):
+        """Regression: trace replays produced no sim.* counters at all,
+        making --sim-backend and --policy unobservable (unlike analyze's
+        simulation path)."""
+        pytest.importorskip("numpy")
+        trace = tmp_path / "hydro.trace"
+        assert main(
+            ["trace", "export", "hydro", "--size", "16", "-o", str(trace)]
+        ) == 0
+        for backend, extra in (("scalar", set()),
+                               ("numpy", {"sim.backend.batch.runs"})):
+            metrics = tmp_path / f"{backend}.json"
+            rc = main(["trace", "simulate", str(trace), "--cache", "2:32:2",
+                       "--sim-backend", backend, "--policy", "fifo",
+                       "--metrics-out", str(metrics), "--quiet"])
+            assert rc == 0
+            counters = json.loads(metrics.read_text())["counters"]
+            assert counters["sim.policy.fifo"] == 1
+            assert counters["sim.accesses"] > 0
+            assert (counters["sim.hits"] + counters["sim.misses"]
+                    == counters["sim.accesses"])
+            assert extra <= set(counters)
+        capsys.readouterr()
