@@ -19,7 +19,6 @@ Typical use::
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, TYPE_CHECKING, Union
 

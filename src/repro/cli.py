@@ -15,6 +15,10 @@ Examples::
     repro-cache analyze hydro --jobs 4 --timeline-out t.json --ledger-out runs.jsonl
     repro-cache perf check runs.jsonl --threshold 1.5
     repro-cache perf report runs.jsonl -o perf_report.html
+    repro-cache serve --port 8091 --workers 4 --cache-dir .serve-memo
+    repro-cache submit hydro --size 32 --cache 4:32:2 --method find \
+        --url http://127.0.0.1:8091
+    repro-cache version
 
 Cache specifications are ``SIZE_KB:LINE_BYTES:ASSOC``.
 
@@ -63,7 +67,7 @@ import sys
 from typing import Callable, Optional, TextIO
 
 from repro import obs
-from repro.analysis import analyze, prepare, run_simulation
+from repro.analysis import prepare, run_simulation
 from repro.inline import classify_program
 from repro.ir import Program, program_stats
 from repro.layout import CacheConfig
@@ -73,41 +77,27 @@ log = logging.getLogger("repro.cli")
 
 
 def _parse_cache(spec: str) -> CacheConfig:
+    from repro.serve.protocol import ServeError, parse_cache_spec
+
     try:
-        size_kb, line, assoc = (int(p) for p in spec.split(":"))
-    except ValueError:
-        raise SystemExit(
-            f"bad cache spec {spec!r}: expected SIZE_KB:LINE_BYTES:ASSOC"
-        )
-    return CacheConfig(size_kb * 1024, line, assoc)
+        return parse_cache_spec(spec)
+    except ServeError as exc:
+        raise SystemExit(str(exc))
 
 
 def _load_workload(name: str, size: Optional[int], steps: int) -> Program:
-    from repro.kernels import build_hydro, build_mgrid, build_mmt
-    from repro.programs import (
-        build_applu_like,
-        build_swim_like,
-        build_tomcatv_like,
-    )
+    from repro.serve.engine import load_kernel
+    from repro.serve.protocol import UnknownKernel
 
-    builders = {
-        "hydro": lambda: build_hydro(size or 64, size or 64),
-        "mgrid": lambda: build_mgrid(size or 20),
-        "mmt": lambda: build_mmt(size or 48, (size or 48) // 2, (size or 48) // 4),
-        "tomcatv": lambda: build_tomcatv_like(size or 48, steps),
-        "swim": lambda: build_swim_like(size or 48, steps),
-        "applu": lambda: build_applu_like(size or 24, steps),
-    }
-    if name in builders:
-        return builders[name]()
     if name.endswith(".f"):
         from repro.frontend import parse_program
 
         with open(name) as fh:
             return parse_program(fh.read())
-    raise SystemExit(
-        f"unknown workload {name!r}: use one of {sorted(builders)} or a .f file"
-    )
+    try:
+        return load_kernel(name, size, steps)
+    except UnknownKernel as exc:
+        raise SystemExit(f"{exc} (or pass a .f file)")
 
 
 def _add_workload_args(sub: argparse.ArgumentParser) -> None:
@@ -314,20 +304,22 @@ def _cmd_stats(args, program: Program, echo: Callable[[str], None]) -> int:
 
 
 def _cmd_analyze(args, program: Program, echo: Callable[[str], None]) -> int:
+    from repro.serve.engine import AnalysisEngine
+    from repro.serve.protocol import AnalyzeRequest
+
     cache = _parse_cache(args.cache)
-    prepared = prepare(program)
     memo = _open_memoizer(args)
-    report = analyze(
-        prepared,
-        cache,
+    engine = AnalysisEngine(memo=memo)
+    request = AnalyzeRequest(
+        cache=cache,
+        program=program,
         method=args.method,
         confidence=args.confidence,
         width=args.width,
         seed=args.seed,
-        jobs=args.jobs,
-        memo=memo,
         backend=args.backend,
     )
+    report, _ = engine.run(request, jobs=args.jobs)
     _close_memoizer(memo)
     log.info(
         "%s on %s: miss ratio %.2f%% (%.0f of %d accesses, %s, %.2fs, "
@@ -398,17 +390,20 @@ def _cmd_simulate(args, program: Program, echo: Callable[[str], None]) -> int:
 
 
 def _cmd_compare(args, program: Program, echo: Callable[[str], None]) -> int:
+    from repro.serve.engine import AnalysisEngine
+    from repro.serve.protocol import AnalyzeRequest
+
     cache = _parse_cache(args.cache)
-    prepared = prepare(program)
     memo = _open_memoizer(args)
-    analytic = analyze(
-        prepared,
-        cache,
+    engine = AnalysisEngine(memo=memo)
+    request = AnalyzeRequest(
+        cache=cache,
+        program=program,
         method=args.method,
-        jobs=args.jobs,
-        memo=memo,
         backend=args.backend,
     )
+    analytic, _ = engine.run(request, jobs=args.jobs)
+    prepared = engine.prepared_for(request)
     _close_memoizer(memo)
     simulated = run_simulation(
         prepared,
@@ -437,6 +432,90 @@ def _cmd_compare(args, program: Program, echo: Callable[[str], None]) -> int:
             ],
             title=f"{program.name} on {cache.describe()} (abs. error {err:.2f}pp)",
         )
+    )
+    return 0
+
+
+def _cmd_version(args, echo: Callable[[str], None]) -> int:
+    """Print package version, code fingerprint and schema versions."""
+    from repro.serve.protocol import version_info
+
+    echo(json.dumps(version_info(), indent=2))
+    return 0
+
+
+def _cmd_serve(args, echo: Callable[[str], None]) -> int:
+    """Run the analysis daemon until interrupted."""
+    import time
+
+    from repro.serve import AnalysisServer
+
+    cache_dir = None if getattr(args, "no_cache", False) else args.cache_dir
+    server = AnalysisServer(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        dispatchers=args.dispatchers,
+        queue_limit=args.queue_limit,
+        cache_dir=cache_dir,
+        default_timeout=args.timeout,
+    )
+    with server:
+        server.start()
+        echo(f"repro-cache serving on {server.url} (Ctrl-C to stop)")
+        try:
+            while True:
+                time.sleep(0.5)
+        except KeyboardInterrupt:
+            log.info("shutting down")
+    return 0
+
+
+def _cmd_submit(args, echo: Callable[[str], None]) -> int:
+    """Send one analysis request to a running daemon."""
+    from repro.serve import ServeClient, ServeError
+
+    doc: dict = {
+        "cache": args.cache,
+        "method": args.method,
+        "confidence": args.confidence,
+        "width": args.width,
+        "seed": args.seed,
+        "steps": args.steps,
+        "timeout": args.timeout,
+        "client": args.client,
+    }
+    if args.workload.endswith(".f"):
+        with open(args.workload) as fh:
+            doc["source"] = fh.read()
+    else:
+        doc["kernel"] = args.workload
+    if args.size is not None:
+        doc["size"] = args.size
+    if args.backend != "auto":
+        doc["backend"] = args.backend
+    client = ServeClient(args.url, timeout=args.timeout + 5.0)
+    try:
+        resp = client.analyze(doc)
+    except ServeError as exc:
+        raise SystemExit(f"{exc.code}: {exc}")
+    except OSError as exc:
+        raise SystemExit(f"cannot reach {args.url}: {exc}")
+    report = resp["report"]
+    server_info = resp.get("server", {})
+    log.info(
+        "%s via %s: %s, solve %.3fs, memo %s",
+        args.workload,
+        args.url,
+        resp.get("job", "?"),
+        server_info.get("solve_seconds", 0.0),
+        server_info.get("memo"),
+    )
+    totals = report["totals"]
+    echo(
+        f"{args.workload} on {args.cache} ({report['method']}): "
+        f"miss ratio {totals['miss_ratio_percent']:.2f}% "
+        f"({totals['misses']:.0f} of {totals['accesses']} accesses)"
     )
     return 0
 
@@ -610,7 +689,7 @@ def _append_ledger(args, wall_seconds: float) -> None:
         )
         label = f"trace-{args.trace_command}:{workload}"
     else:
-        workload = args.workload
+        workload = getattr(args, "workload", "") or args.command
         label = f"{args.command}:{workload}"
     row = ledger.build_row(
         label,
@@ -726,6 +805,70 @@ def main(argv: Optional[list[str]] = None) -> int:
     _add_sim_backend_arg(t_sim)
     _add_policy_args(t_sim)
     _add_obs_args(t_sim)
+
+    p_version = subs.add_parser(
+        "version",
+        help="print package version, code fingerprint and schema versions",
+    )
+    _add_obs_args(p_version)
+
+    p_serve = subs.add_parser(
+        "serve", help="run the analysis-as-a-service HTTP daemon"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8091, help="0 = ephemeral port"
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="threads in the shared per-reference unit pool",
+    )
+    p_serve.add_argument(
+        "--dispatchers",
+        type=int,
+        default=2,
+        help="requests solved concurrently",
+    )
+    p_serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="admission bound; requests past it get HTTP 429",
+    )
+    p_serve.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="default per-request deadline in seconds",
+    )
+    _add_memo_args(p_serve)
+    _add_obs_args(p_serve)
+
+    p_submit = subs.add_parser(
+        "submit", help="send one analysis request to a running daemon"
+    )
+    _add_workload_args(p_submit)
+    p_submit.add_argument(
+        "--url", default="http://127.0.0.1:8091", help="daemon base URL"
+    )
+    p_submit.add_argument(
+        "--method", choices=["estimate", "find"], default="estimate"
+    )
+    p_submit.add_argument("--confidence", type=float, default=0.95)
+    p_submit.add_argument("--width", type=float, default=0.05)
+    p_submit.add_argument("--seed", type=int, default=0)
+    p_submit.add_argument(
+        "--backend", choices=["auto", "scalar", "numpy"], default="auto"
+    )
+    p_submit.add_argument(
+        "--timeout", type=float, default=60.0, help="request deadline (s)"
+    )
+    p_submit.add_argument(
+        "--client", default="cli", help="client id for fair scheduling"
+    )
+    _add_obs_args(p_submit)
 
     p_stats = subs.add_parser("stats", help="Table 5 / Table 2 style statistics")
     p_stats.add_argument("workload")
@@ -858,6 +1001,12 @@ def main(argv: Optional[list[str]] = None) -> int:
             rc = _cmd_trace(args, echo)
         elif args.command == "perf":
             rc = _cmd_perf(args, echo)
+        elif args.command == "version":
+            rc = _cmd_version(args, echo)
+        elif args.command == "serve":
+            rc = _cmd_serve(args, echo)
+        elif args.command == "submit":
+            rc = _cmd_submit(args, echo)
         else:
             program = _load_workload(
                 args.workload, args.size, getattr(args, "steps", 2)

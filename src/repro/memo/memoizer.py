@@ -23,6 +23,7 @@ unmemoized one.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Optional, Sequence, TYPE_CHECKING
 
 from repro import obs
@@ -71,10 +72,17 @@ class Memoizer:
     * ``misses`` — distinct systems actually classified;
     * ``groups`` — distinct keys seen (``hits + misses`` counts refs);
     * ``store_hits`` — the subset of hits answered from disk.
+
+    One memoizer may be shared by concurrent threads (the service daemon
+    plans every request through a single process-wide instance): planning,
+    recording and flushing all serialise on :attr:`lock`, so counters and
+    the result table stay consistent under concurrent sessions.
     """
 
     def __init__(self, store: Optional[MemoStore] = None):
         self.store = store
+        #: Serialises plan/record/flush across threads sharing this table.
+        self.lock = threading.RLock()
         self._results: dict[str, list] = {}  # solved this run
         self._persisted = store.load() if store is not None else {}
         self._new: dict[str, list] = {}  # solved this run, not yet on disk
@@ -114,13 +122,14 @@ class Memoizer:
         """Write solutions accumulated since the last flush to the store."""
         if self.store is None:
             return 0
-        written = len(self._new)
-        if written or self.store._stale:
-            with obs.span("memo/store"):
-                self.store.append(self._new)
-            self._persisted.update(self._new)
-            self._new = {}
-        return written
+        with self.lock:
+            written = len(self._new)
+            if written or self.store._stale:
+                with obs.span("memo/store"):
+                    self.store.append(self._new)
+                self._persisted.update(self._new)
+                self._new = {}
+            return written
 
     def __enter__(self) -> "Memoizer":
         return self
@@ -141,9 +150,10 @@ class Memoizer:
         return payload
 
     def _record(self, key: str, payload: list) -> None:
-        self._results[key] = payload
-        if self.store is not None and key not in self._persisted:
-            self._new[key] = payload
+        with self.lock:
+            self._results[key] = payload
+            if self.store is not None and key not in self._persisted:
+                self._new[key] = payload
 
 
 class MemoSession:
@@ -189,7 +199,7 @@ class MemoSession:
         """Partition ``targets`` into replays and representative solves."""
         memo = self.memo
         plan = MemoPlan(self, list(targets))
-        with obs.span("memo/probe"):
+        with memo.lock, obs.span("memo/probe"):
             pending: dict[str, int] = {}  # key -> index of the representative
             for ref in plan.targets:
                 key = self.key_for(ref)
@@ -231,6 +241,11 @@ class MemoPlan:
         self.solve: list = []  # representative refs that need classification
         self._replays: list = []  # (ref, key, payload-or-None)
         self._solved: dict[str, list] = {}
+
+    @property
+    def replays(self) -> int:
+        """References answered without classification under this plan."""
+        return len(self._replays)
 
     def add(self, ref: "NRef", result: RefResult) -> None:
         """Record the classification of one representative reference."""

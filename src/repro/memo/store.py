@@ -14,6 +14,28 @@ rewrites the file from scratch under the current header.  Individually
 corrupt lines (truncation, bad JSON, malformed payloads) are skipped with
 the same counter bump — a damaged store degrades to a cold run, never to a
 crash or a wrong result.
+
+Concurrent writers
+------------------
+
+One store file may be appended to by many threads *and* many processes at
+once (the service daemon's dispatchers, a ``--jobs`` process pool, several
+CLI runs sharing a ``--cache-dir``).  :meth:`MemoStore.append` is safe
+under all of them:
+
+* every append is serialised under an advisory lock on a ``.lock``
+  sibling file (``fcntl.flock``; a no-op on platforms without ``fcntl``,
+  where the remaining guarantees still hold);
+* appended entries are emitted as **one** ``os.write`` on an ``O_APPEND``
+  descriptor — POSIX appends are atomic per ``write``, so concurrent
+  appends interleave at line-batch granularity and never tear a line;
+* a fresh/stale file is rewritten to a private temp file and published
+  with ``os.replace`` — readers and other writers only ever observe a
+  complete, headered file.
+
+Entries are idempotent (same key ⇒ same payload for one fingerprint), so
+the duplicate keys that concurrent cold runs may both persist are
+harmless: ``load`` keeps the last occurrence.
 """
 
 from __future__ import annotations
@@ -21,6 +43,11 @@ from __future__ import annotations
 import json
 import os
 from typing import Mapping, Optional, Sequence
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX: single-write O_APPEND is the only guard
+    fcntl = None
 
 from repro import obs
 from repro.memo.key import code_fingerprint
@@ -30,6 +57,26 @@ STORE_SCHEMA = "repro.memo/v1"
 
 #: File name used inside a ``--cache-dir`` directory.
 STORE_FILENAME = "cme-memo.jsonl"
+
+
+class _FileLock:
+    """Advisory inter-process lock on ``path`` (no-op without ``fcntl``)."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fd: Optional[int] = None
+
+    def __enter__(self) -> "_FileLock":
+        if fcntl is not None:
+            self._fd = os.open(self.path, os.O_WRONLY | os.O_CREAT, 0o644)
+            fcntl.flock(self._fd, fcntl.LOCK_EX)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._fd is not None:
+            fcntl.flock(self._fd, fcntl.LOCK_UN)
+            os.close(self._fd)
+            self._fd = None
 
 
 def _valid_payload(payload) -> bool:
@@ -103,19 +150,34 @@ class MemoStore:
         return entries
 
     def append(self, entries: Mapping[str, Sequence[int]]) -> None:
-        """Persist ``entries``; rewrites the file when missing or stale."""
-        fresh = self._stale or not os.path.exists(self.path)
-        if not entries and not fresh:
+        """Persist ``entries``; rewrites the file when missing or stale.
+
+        Safe under concurrent writers — threads and processes — see the
+        module docstring for the exact guarantees.
+        """
+        if not entries and not self._stale and os.path.exists(self.path):
             return
-        with open(self.path, "w" if fresh else "a", encoding="utf-8") as fh:
+        lines = "".join(
+            json.dumps({"k": key, "p": list(payload)}, separators=(",", ":"))
+            + "\n"
+            for key, payload in entries.items()
+        )
+        with _FileLock(self.path + ".lock"):
+            # Re-check under the lock: a concurrent writer may have
+            # created/rewritten the file since we looked.
+            fresh = self._stale or not os.path.exists(self.path)
             if fresh:
-                fh.write(self._header() + "\n")
+                tmp = f"{self.path}.tmp.{os.getpid()}"
+                with open(tmp, "w", encoding="utf-8") as fh:
+                    fh.write(self._header() + "\n" + lines)
+                os.replace(tmp, self.path)
                 self._stale = False
-            for key, payload in entries.items():
-                fh.write(
-                    json.dumps(
-                        {"k": key, "p": list(payload)}, separators=(",", ":")
-                    )
-                    + "\n"
+            elif lines:
+                fd = os.open(
+                    self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
                 )
+                try:
+                    os.write(fd, lines.encode("utf-8"))
+                finally:
+                    os.close(fd)
         obs.counter("memo.store.appended").inc(len(entries))

@@ -1,0 +1,88 @@
+"""Stdlib HTTP client for the analysis service.
+
+Used by the tests, ``repro-cache submit`` and the service benchmark; the
+only dependency is ``urllib``.  Error responses are rebuilt into the same
+typed :class:`~repro.serve.protocol.ServeError` subclasses the server
+raised, so ``except QueueFull`` works identically in-process and over the
+wire.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Optional
+
+from repro.serve.protocol import RequestTimeout, error_from_doc
+
+
+class ServeClient:
+    """A thin JSON client bound to one server base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _call(self, method: str, path: str, body: Optional[dict] = None):
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                doc = json.loads(exc.read())
+            except ValueError:
+                doc = {}
+            raise error_from_doc(doc, exc.code) from None
+
+    # -- endpoints -------------------------------------------------------------
+
+    def analyze(self, doc: dict) -> dict:
+        """``POST /v1/analyze`` — solve one request synchronously."""
+        return self._call("POST", "/v1/analyze", doc)
+
+    def batch(self, docs: list) -> dict:
+        """``POST /v1/batch`` — admit many requests; returns their ids."""
+        return self._call("POST", "/v1/batch", {"requests": list(docs)})
+
+    def job(self, job_id: str) -> dict:
+        """``GET /v1/jobs/<id>`` — poll one job."""
+        return self._call("GET", f"/v1/jobs/{job_id}")
+
+    def wait(self, job_id: str, timeout: float = 60.0, poll: float = 0.05) -> dict:
+        """Poll a job until it leaves the queued/running states.
+
+        Raises :class:`RequestTimeout` if it has not settled within
+        ``timeout`` seconds; returns the final job document otherwise
+        (whose ``status`` is ``done`` or ``error``).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.job(job_id)
+            if doc.get("status") in ("done", "error"):
+                return doc
+            if time.monotonic() >= deadline:
+                raise RequestTimeout(
+                    f"job {job_id} still {doc.get('status')!r} "
+                    f"after {timeout:.3f}s"
+                )
+            time.sleep(poll)
+
+    def healthz(self) -> dict:
+        """``GET /v1/healthz``."""
+        return self._call("GET", "/v1/healthz")
+
+    def metrics(self) -> dict:
+        """``GET /v1/metrics``."""
+        return self._call("GET", "/v1/metrics")

@@ -1,0 +1,205 @@
+"""Bounded admission queue with per-client fairness and deadlines.
+
+The daemon admits requests through one :class:`FairQueue`:
+
+* **bounded** — at most ``capacity`` jobs may be queued; admission past
+  that raises :class:`~repro.serve.protocol.QueueFull` (HTTP 429) instead
+  of letting a flood build unbounded latency;
+* **fair** — jobs are grouped by client id and dispatched round-robin
+  across clients, so one client streaming hundreds of requests cannot
+  starve another's single interactive one.  Within a client, order is
+  FIFO;
+* **deadline-aware** — every :class:`Job` carries an absolute deadline
+  (monotonic clock).  Dispatchers drop expired jobs with
+  :class:`~repro.serve.protocol.RequestTimeout` (HTTP 504) before wasting
+  solver time on them.
+
+The queue is plain ``threading`` — no asyncio — matching the
+thread-per-connection model of ``http.server.ThreadingHTTPServer``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from collections import deque
+from typing import Optional
+
+from repro.serve.protocol import (
+    AnalyzeRequest,
+    QueueFull,
+    RequestTimeout,
+    SERVE_SCHEMA,
+    ServeError,
+    error_doc,
+)
+
+
+class Job:
+    """One admitted request: state machine ``queued → running → done/error``."""
+
+    def __init__(self, request: AnalyzeRequest, job_id: Optional[str] = None):
+        self.id = job_id or uuid.uuid4().hex[:12]
+        self.request = request
+        self.status = "queued"
+        self.result: Optional[dict] = None
+        self.error: Optional[ServeError] = None
+        self.done = threading.Event()
+        self.enqueued = time.monotonic()
+        self.started: Optional[float] = None
+        self.finished: Optional[float] = None
+        #: Absolute monotonic deadline; expired jobs fail with ``timeout``.
+        self.deadline = self.enqueued + request.timeout
+
+    # -- state transitions (dispatcher side) -----------------------------------
+
+    def start(self) -> None:
+        self.status = "running"
+        self.started = time.monotonic()
+
+    def finish(self, result: dict) -> None:
+        self.result = result
+        self.status = "done"
+        self.finished = time.monotonic()
+        self.done.set()
+
+    def fail(self, exc: ServeError) -> None:
+        self.error = exc
+        self.status = "error"
+        self.finished = time.monotonic()
+        self.done.set()
+
+    # -- views -----------------------------------------------------------------
+
+    @property
+    def expired(self) -> bool:
+        """True once the deadline has passed (regardless of state)."""
+        return time.monotonic() >= self.deadline
+
+    @property
+    def queued_seconds(self) -> float:
+        """Time spent waiting for a dispatcher."""
+        return (self.started or self.finished or time.monotonic()) - self.enqueued
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Admission-to-completion wall time (so far, if unfinished)."""
+        return (self.finished or time.monotonic()) - self.enqueued
+
+    def to_doc(self) -> dict:
+        """The ``GET /v1/jobs/<id>`` document."""
+        doc = {
+            "schema": SERVE_SCHEMA,
+            "id": self.id,
+            "status": self.status,
+            "client": self.request.client,
+            "queued_seconds": self.queued_seconds,
+            "elapsed_seconds": self.elapsed_seconds,
+            "result": self.result,
+        }
+        if self.error is not None:
+            doc["error"] = error_doc(self.error)["error"]
+        return doc
+
+
+class FairQueue:
+    """Bounded multi-client queue with round-robin dispatch.
+
+    ``capacity <= 0`` means "admit nothing" — useful for drain mode and
+    for deterministically testing the 429 path.
+    """
+
+    def __init__(self, capacity: int = 64):
+        self.capacity = capacity
+        self._lanes: dict[str, deque[Job]] = {}
+        self._order: deque[str] = deque()  # round-robin client rotation
+        self._size = 0
+        self._closed = False
+        self._cond = threading.Condition()
+
+    # -- producer side ---------------------------------------------------------
+
+    def put(self, job: Job) -> None:
+        """Admit ``job`` under its request's client id.
+
+        Raises :class:`QueueFull` when at capacity and :class:`ServeError`
+        when the queue is closed; never blocks.
+        """
+        client = job.request.client
+        with self._cond:
+            if self._closed:
+                raise ServeError("server is shutting down")
+            if self._size >= self.capacity:
+                raise QueueFull(
+                    f"admission queue full ({self._size}/{self.capacity}); "
+                    f"retry later"
+                )
+            lane = self._lanes.get(client)
+            if lane is None:
+                lane = self._lanes[client] = deque()
+            if not lane:
+                self._order.append(client)
+            lane.append(job)
+            self._size += 1
+            self._cond.notify()
+
+    # -- consumer side ---------------------------------------------------------
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """The next job, round-robin across clients.
+
+        Blocks up to ``timeout`` seconds (``None`` = forever); returns
+        ``None`` on timeout or once the queue is closed and drained.
+        """
+        with self._cond:
+            while self._size == 0:
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout):
+                    return None
+            client = self._order.popleft()
+            lane = self._lanes[client]
+            job = lane.popleft()
+            if lane:
+                self._order.append(client)  # rotate: next client first
+            else:
+                del self._lanes[client]
+            self._size -= 1
+            return job
+
+    def drain_expired(self) -> list[Job]:
+        """Remove and fail every queued job whose deadline has passed."""
+        expired: list[Job] = []
+        with self._cond:
+            for client in list(self._lanes):
+                lane = self._lanes[client]
+                keep = deque(j for j in lane if not j.expired)
+                expired.extend(j for j in lane if j.expired)
+                if keep:
+                    self._lanes[client] = keep
+                else:
+                    del self._lanes[client]
+                    if client in self._order:
+                        self._order.remove(client)
+            self._size -= len(expired)
+        for job in expired:
+            job.fail(
+                RequestTimeout(
+                    f"request expired after {job.request.timeout:.3f}s "
+                    f"in the queue"
+                )
+            )
+        return expired
+
+    def close(self) -> None:
+        """Stop admitting; wake every blocked :meth:`get`."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def depth(self) -> int:
+        """Jobs currently queued (not yet dispatched)."""
+        with self._cond:
+            return self._size

@@ -1,0 +1,131 @@
+"""Concurrent-writer safety of the persistent memo store.
+
+Many threads and many processes append to one ``cme-memo.jsonl`` at once;
+afterwards the file must contain exactly one header, no torn lines, and
+every appended entry — the locking + single-``write`` O_APPEND + atomic
+rename contract of :mod:`repro.memo.store`.
+"""
+
+import json
+import multiprocessing
+import os
+import threading
+
+from repro.memo.store import MemoStore, STORE_SCHEMA
+
+FINGERPRINT = "f" * 64  # fixed so every process binds the same store identity
+
+
+def make_payload(i: int) -> list:
+    return [100 + i, 100 + i, i, 0, 100]
+
+
+def check_store_file(path: str, expected: dict) -> None:
+    """Assert exactly one valid header and every expected entry, untorn."""
+    with open(path, encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+    assert lines, "store file is empty"
+    header = json.loads(lines[0])
+    assert header == {"schema": STORE_SCHEMA, "fingerprint": FINGERPRINT}
+    seen = {}
+    for line in lines[1:]:
+        entry = json.loads(line)  # a torn line would fail to parse
+        assert set(entry) == {"k", "p"}
+        seen[entry["k"]] = entry["p"]
+    assert seen == expected
+    # Loading back through the store must agree too.
+    loaded = MemoStore(path, fingerprint=FINGERPRINT).load()
+    assert loaded == expected
+
+
+def test_threaded_appends_do_not_tear(tmp_path):
+    path = str(tmp_path / "cme-memo.jsonl")
+    n_threads, per_thread = 8, 25
+    barrier = threading.Barrier(n_threads)
+
+    def writer(tid):
+        store = MemoStore(path, fingerprint=FINGERPRINT)
+        barrier.wait()
+        for j in range(per_thread):
+            i = tid * per_thread + j
+            store.append({f"key-{i:04d}": make_payload(i)})
+
+    threads = [
+        threading.Thread(target=writer, args=(t,)) for t in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    expected = {
+        f"key-{i:04d}": make_payload(i)
+        for i in range(n_threads * per_thread)
+    }
+    check_store_file(path, expected)
+
+
+def _process_writer(args):
+    path, pid, per_proc = args
+    store = MemoStore(path, fingerprint=FINGERPRINT)
+    for j in range(per_proc):
+        i = pid * per_proc + j
+        store.append({f"key-{i:04d}": make_payload(i)})
+    return pid
+
+
+def test_multiprocess_appends_do_not_tear(tmp_path):
+    path = str(tmp_path / "cme-memo.jsonl")
+    n_procs, per_proc = 4, 20
+    ctx = multiprocessing.get_context("spawn")
+    with ctx.Pool(n_procs) as pool:
+        done = pool.map(
+            _process_writer, [(path, p, per_proc) for p in range(n_procs)]
+        )
+    assert sorted(done) == list(range(n_procs))
+    expected = {
+        f"key-{i:04d}": make_payload(i) for i in range(n_procs * per_proc)
+    }
+    check_store_file(path, expected)
+
+
+def test_concurrent_fresh_rewrites_keep_a_single_header(tmp_path):
+    """Every writer believes the file is missing; only one header survives."""
+    path = str(tmp_path / "cme-memo.jsonl")
+    n_threads = 8
+    barrier = threading.Barrier(n_threads)
+
+    def writer(tid):
+        store = MemoStore(path, fingerprint=FINGERPRINT)
+        barrier.wait()  # maximise the create/append race
+        store.append({f"key-{tid:04d}": make_payload(tid)})
+
+    threads = [
+        threading.Thread(target=writer, args=(t,)) for t in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    expected = {f"key-{t:04d}": make_payload(t) for t in range(n_threads)}
+    check_store_file(path, expected)
+    assert not [
+        name for name in os.listdir(tmp_path) if ".tmp." in name
+    ], "temporary rewrite files must not be left behind"
+
+
+def test_stale_rewrite_under_concurrent_appends(tmp_path):
+    """A stale-marked writer rewriting must not lose concurrent appends
+    made after its rewrite published (the lock serialises them)."""
+    path = str(tmp_path / "cme-memo.jsonl")
+    # Seed a file under a *different* fingerprint: the next load marks it
+    # stale and the next append rewrites it from scratch.
+    old = MemoStore(path, fingerprint="0" * 64)
+    old.append({"old-key": [1, 1, 1, 0, 0]})
+    stale = MemoStore(path, fingerprint=FINGERPRINT)
+    assert stale.load() == {}  # wrong fingerprint -> stale
+    fresh = MemoStore(path, fingerprint=FINGERPRINT)
+
+    stale.append({"key-0000": make_payload(0)})  # rewrites the file
+    fresh.append({"key-0001": make_payload(1)})  # appends to the new file
+    expected = {"key-0000": make_payload(0), "key-0001": make_payload(1)}
+    check_store_file(path, expected)
