@@ -34,6 +34,7 @@ from repro.iteration.walker import Walker
 from repro.reuse.generator import ReuseOptions, ReuseTable, build_reuse_table
 from repro.cme.estimate import estimate_misses
 from repro.cme.find import find_misses
+from repro.cme.regions import region_misses
 from repro.cme.result import MissReport
 from repro.sim.simulator import (
     HierarchyReport,
@@ -131,9 +132,12 @@ def analyze(
 ) -> MissReport:
     """Predict the cache behaviour analytically.
 
-    ``method`` selects between the two solvers of Fig. 6: ``"estimate"``
-    (statistical sampling at the paper's default c = 95%, w = 0.05) and
-    ``"find"`` (exhaustive, exact when reuse information is complete).
+    ``method`` selects the solver: ``"estimate"`` (statistical sampling at
+    the paper's default c = 95%, w = 0.05), ``"find"`` (exhaustive, exact
+    when reuse information is complete) and ``"regions"`` (regional
+    decomposition — classifications equal to ``"find"`` with solve time
+    independent of the loop bounds wherever closed-form certificates
+    apply).
     ``jobs`` shards the per-reference work across worker processes
     (``1`` = serial, ``0``/negative = all CPUs); the report is identical
     for every job count.  ``memo`` (a :class:`repro.memo.Memoizer`) enables
@@ -157,6 +161,17 @@ def analyze(
             memo=memo,
             backend=backend,
         )
+    if method == "regions":
+        return region_misses(
+            prepared.nprog,
+            prepared.layout,
+            cache,
+            reuse=reuse,
+            walker=prepared.walker,
+            jobs=jobs,
+            memo=memo,
+            backend=backend,
+        )
     if method == "estimate":
         return estimate_misses(
             prepared.nprog,
@@ -171,7 +186,9 @@ def analyze(
             memo=memo,
             backend=backend,
         )
-    raise ValueError(f"unknown method {method!r}; use 'find' or 'estimate'")
+    raise ValueError(
+        f"unknown method {method!r}; use 'find', 'estimate' or 'regions'"
+    )
 
 
 def run_simulation(

@@ -714,7 +714,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     p_analyze = subs.add_parser("analyze", help="analytical miss prediction")
     _add_workload_args(p_analyze)
     p_analyze.add_argument(
-        "--method", choices=["estimate", "find"], default="estimate"
+        "--method", choices=["estimate", "find", "regions"], default="estimate"
     )
     p_analyze.add_argument("--confidence", type=float, default=0.95)
     p_analyze.add_argument("--width", type=float, default=0.05)
@@ -746,7 +746,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     p_cmp = subs.add_parser("compare", help="analytical vs simulated, side by side")
     _add_workload_args(p_cmp)
     p_cmp.add_argument(
-        "--method", choices=["estimate", "find"], default="estimate"
+        "--method", choices=["estimate", "find", "regions"], default="estimate"
     )
     _add_backend_arg(p_cmp)
     _add_sim_backend_arg(p_cmp)
@@ -854,7 +854,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "--url", default="http://127.0.0.1:8091", help="daemon base URL"
     )
     p_submit.add_argument(
-        "--method", choices=["estimate", "find"], default="estimate"
+        "--method", choices=["estimate", "find", "regions"], default="estimate"
     )
     p_submit.add_argument("--confidence", type=float, default=0.95)
     p_submit.add_argument("--width", type=float, default=0.05)

@@ -10,6 +10,11 @@ from repro.cme.point import Classification, Outcome, PointClassifier
 from repro.cme.result import MissReport, RefResult, compare_reports
 from repro.cme.find import find_misses, find_ref_misses
 from repro.cme.estimate import estimate_misses, estimate_ref_misses, ref_rng
+from repro.cme.regions import (
+    region_misses,
+    region_ref_misses,
+    regional_coverage,
+)
 
 __all__ = [
     "BACKENDS",
@@ -26,5 +31,8 @@ __all__ = [
     "make_classifier",
     "numpy_available",
     "ref_rng",
+    "region_misses",
+    "region_ref_misses",
+    "regional_coverage",
     "resolve_backend",
 ]

@@ -1,0 +1,981 @@
+"""``RegionMisses`` — regional CME solving: whole polyhedra, not points.
+
+``FindMisses`` pays per iteration point, so Table 3/6 analysis time grows
+with the loop bounds — defeating the paper's "analytical, not simulated"
+promise at scale.  This solver classifies whole polyhedral *regions* of each
+reference's RIS at once, following the symbolic-locality line of work (Zhu
+et al., *Fully Symbolic Analysis of Loop Locality*) on top of the paper's
+own machinery:
+
+1. **Decomposition.**  Reuse vectors are tried in the same increasing
+   lexicographic order as the point classifier, but over *cells* instead of
+   points.  Within a uniformly generated set the producer/consumer address
+   difference ``δ = addr_p(i−x) − addr_c(i)`` is a compile-time constant, so
+   the cold equations of vector ``x`` are exactly: a conjunction of affine
+   constraints (the translated producer RIS) and one residue-interval
+   constraint ``(addr_c(i) mod L) ∈ [max(0,−δ), min(L−1, L−1−δ)]``.
+   Sequential set difference over these conditions splits the RIS into
+   disjoint :class:`~repro.polyhedra.regions.RegionSpace` cells: per vector
+   a *decided* cell plus complement cells that continue to the next vector;
+   whatever survives every vector is **cold** and is counted in closed form.
+
+2. **Replacement by residue class.**  A decided cell is classified without
+   enumeration when the *replacement-uniformity certificate* holds: the
+   reuse vector spans only innermost iterations (zero label part, zero
+   outer index components), every leaf of the consumer's innermost loop is
+   guard-free, and every reference in those leaves has a constant address
+   offset from the consumer.  Then the interference window's line offsets
+   are a fixed set of carries ``(a mod L + Δ) // L``, so the outcome is a
+   function of ``a mod L`` alone: the cell splits into at most ``L/gcd``
+   residue classes, one representative per class is probed with the scalar
+   classifier (verifying it is decided by the expected vector), and the
+   probed outcome is multiplied by the class's closed-form count.
+
+   For **direct-mapped** caches a second certificate covers windows whose
+   references are *not* uniformly generated with the consumer (``mmt``'s
+   ``A``/``B`` rows against ``C``): with an innermost-only vector over a
+   childless loop the window's access list is static (a guarded leaf's
+   accesses carry the shifted guard as an affine *presence* condition), and
+   with ``k = 1`` replacement is simply "some window access conflicts".
+   Each access contributes one conflict condition — writing ``r = a_c mod L``
+   and ``Δ_j(i) = addr_j(i) − a_c(i)`` (affine!), the access maps to the
+   reused set iff ``(r + Δ_j) mod L·S ∈ [0, L)`` and to the reused *line*
+   iff ``0 ≤ r + Δ_j ≤ L−1``.  Both are region constraints, so sequential
+   set difference over the window carves the cell into exact REPLACEMENT
+   and HIT pieces — every piece still probe-verified before being tallied.
+
+3. **Fallback.**  Anything irregular — a non-constant ``δ`` (references
+   outside the consumer's uniformly generated set), a failed certificate, a
+   probe deciding via an unexpected vector — is *enumerated* through the
+   existing classification backend (:mod:`repro.cme.backend`), merged into
+   one residual region per reference.  Fallback changes speed, never
+   results: the report is exactly equal to ``FindMisses`` by construction,
+   which the 210-case differential suite asserts.
+
+Coverage is observable: ``cme.regions.exact_regions`` counts closed-form
+units (cold cells and certified residue classes), ``fallback_regions`` the
+residual regions (at most one per reference), with ``fallback_cells`` /
+``fallback_points`` / ``probe_mismatch`` breaking the residual down.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Iterable, Optional, TYPE_CHECKING
+
+from repro import obs
+from repro.layout.cache import CacheConfig
+from repro.layout.memory import MemoryLayout
+from repro.normalize.nprogram import NormalizedProgram, NRef
+from repro.polyhedra.affine import Affine
+from repro.polyhedra.constraints import Constraint, EQ
+from repro.polyhedra.regions import RegionSpace, negate_constraint
+from repro.reuse.generator import ReuseOptions, ReuseTable, build_reuse_table
+from repro.reuse.vectors import ReuseVector
+from repro.cme.backend import make_classifier
+from repro.cme.find import record_ref_metrics
+from repro.cme.point import Outcome
+from repro.cme.result import MissReport, RefResult
+
+if TYPE_CHECKING:  # repro.memo imports repro.cme.result — keep this lazy
+    from repro.memo import Memoizer
+
+#: Decomposition cap: a reference producing more cells than this sends the
+#: remainder to the fallback path (soundness valve against fragmentation).
+MAX_CELLS = 512
+
+#: Residue-class probing is capped at this line size — beyond it the class
+#: count stops being "a handful per cell" and enumeration wins anyway.
+MAX_RESIDUE_MODULUS = 4096
+
+#: Static interference windows longer than this fall back to enumeration
+#: (the per-access carving below is linear in the window length).
+MAX_WINDOW = 48
+
+#: Crossing windows unroll at most this many iterations per run; the bound
+#: is evaluated over the *cell's* tightened box, so thin boundary cells
+#: qualify even inside huge loops.  Kept small on purpose: carving cost
+#: grows quadratically with the unroll (each access adds a constraint to
+#: every surviving piece), so wide crossings enumerate instead.
+MAX_CROSS_ITERS = 8
+
+#: Total unrolled access budget of one crossing window.
+MAX_CROSS_ACCESSES = 64
+
+#: Cap on live pieces while carving one decided cell by window conflicts.
+MAX_PIECES = 512
+
+_NEVER = "never"
+_REGULAR = "regular"
+_IRREGULAR = "irregular"
+
+
+class RegionSolver:
+    """Per-analysis-state regional solver (decompose → count → probe).
+
+    Built once per classifier and cached on it, so repeated per-reference
+    calls (serial loop, parallel shard, service units) share the compiled
+    address rows, cold conditions and certificates.
+    """
+
+    def __init__(
+        self,
+        nprog: NormalizedProgram,
+        layout: MemoryLayout,
+        cache: CacheConfig,
+        reuse: ReuseTable,
+        classifier=None,
+    ):
+        self.nprog = nprog
+        self.layout = layout
+        self.cache = cache
+        self.reuse = reuse
+        #: Backend classifier for fallback enumeration (optional for the
+        #: coverage probe of :func:`regional_coverage`).
+        self.classifier = classifier
+        #: Scalar probe oracle: the embedded scalar classifier of the batch
+        #: backend, or the classifier itself.
+        self.scalar = getattr(classifier, "scalar", classifier)
+        self._addr: dict[int, Affine] = {}
+        self._conds: dict[int, list] = {}
+        self._cert: dict[tuple[int, int], bool] = {}
+        self._window: dict[tuple[int, int], Optional[list]] = {}
+
+    @staticmethod
+    def for_classifier(classifier) -> "RegionSolver":
+        """The solver bound to (and cached on) a classification backend."""
+        solver = getattr(classifier, "_region_solver", None)
+        if solver is None:
+            solver = RegionSolver(
+                classifier.nprog,
+                classifier.layout,
+                classifier.cache,
+                classifier.reuse,
+                classifier,
+            )
+            classifier._region_solver = solver
+        return solver
+
+    # -- address rows and cold conditions ---------------------------------------
+
+    def addr_affine(self, ref: NRef) -> Affine:
+        """The byte-address of ``ref`` as an affine over ``I1..In``."""
+        a = self._addr.get(ref.uid)
+        if a is None:
+            array = ref.array
+            a = (
+                array.element_offset(ref.subscripts) * array.element_size
+                + self.layout.base_of(array)
+            )
+            self._addr[ref.uid] = a
+        return a
+
+    def _cold_condition(self, ref: NRef, rv: ReuseVector):
+        """The cold equations of one vector as region constraints.
+
+        Returns ``(kind, constraints, residue)`` with ``kind`` one of
+        ``"never"`` (provably no point satisfies them), ``"regular"``
+        (affine constraints + optional residue interval on the consumer
+        address mod the line size) or ``"irregular"`` (non-constant ``δ`` —
+        the producer is outside the consumer's uniformly generated set, so
+        the line equality is not a residue condition).
+        """
+        x = rv.index_part()
+        shift = {
+            var: Affine.var(var) - x[k]
+            for k, var in enumerate(self.nprog.index_vars)
+        }
+        line_bytes = self.cache.line_bytes
+        delta = self.addr_affine(rv.producer).substitute(shift) - self.addr_affine(
+            ref
+        )
+        pris = self.nprog.ris(rv.producer.leaf)
+        cons: list[Constraint] = []
+        for k, (lo, hi) in enumerate(pris.bounds):
+            producer_k = Affine.var(self.nprog.index_vars[k]) - x[k]
+            cons.append(Constraint.inequality(producer_k - lo.substitute(shift)))
+            cons.append(Constraint.inequality(hi.substitute(shift) - producer_k))
+        for c in pris.guard:
+            cons.append(c.substitute(shift))
+        # Prune against the consumer's bounding box: constraints that are
+        # provably true over the whole RIS never split a cell, provably
+        # false ones make the vector inapplicable outright.
+        box = self.nprog.ris(ref.leaf).var_ranges()
+        kept: list[Constraint] = []
+        for c in cons:
+            if c.trivially_true():
+                continue
+            if c.trivially_false():
+                return (_NEVER, (), None)
+            lo_v, hi_v = c.expr.bounds(box)
+            if c.kind == EQ:
+                if lo_v == 0 and hi_v == 0:
+                    continue
+                if lo_v > 0 or hi_v < 0:
+                    return (_NEVER, (), None)
+            else:
+                if lo_v >= 0:
+                    continue
+                if hi_v < 0:
+                    return (_NEVER, (), None)
+            kept.append(c)
+        if not delta.is_constant():
+            return (_IRREGULAR, tuple(kept), None)
+        d = delta.constant_value()
+        if d == 0:
+            residue = None
+        elif abs(d) >= line_bytes:
+            return (_NEVER, (), None)
+        else:
+            residue = (max(0, -d), min(line_bytes - 1, line_bytes - 1 - d))
+        return (_REGULAR, tuple(kept), residue)
+
+    def _conditions(self, ref: NRef) -> list:
+        conds = self._conds.get(ref.uid)
+        if conds is None:
+            conds = [
+                self._cold_condition(ref, rv)
+                for rv in self.reuse.vectors_for(ref)
+            ]
+            self._conds[ref.uid] = conds
+        return conds
+
+    # -- the replacement-uniformity certificate ----------------------------------
+
+    def _certificate(self, ref: NRef, rv: ReuseVector) -> bool:
+        """True when the interference window's outcome is a function of
+        ``addr_c(i) mod line_bytes`` alone over any decided cell.
+
+        Conditions: the vector spans only innermost iterations (zero label
+        part, zero outer index components, non-negative innermost step);
+        every leaf of the consumer's innermost loop is guard-free (fixed
+        window content); and every reference in those leaves sits at a
+        constant byte offset from the consumer (same linear address row).
+        Then each window access's line is ``line_c + (a mod L + Δ) // L``
+        with constant ``Δ``, so distinct-conflict counting is per-residue
+        constant and one probed representative decides the whole class.
+        """
+        if self.nprog.depth == 0:
+            return False
+        if any(l != 0 for l in rv.label_part()):
+            return False
+        x = rv.index_part()
+        if any(c != 0 for c in x[:-1]) or x[-1] < 0:
+            return False
+        loop = self.nprog.loop_at(ref.label)
+        if loop.loops:
+            return False
+        row_c = self.addr_affine(ref)
+        for leaf in loop.leaves:
+            if not leaf.guard.is_true():
+                return False
+            for other in leaf.refs:
+                if not (self.addr_affine(other) - row_c).is_constant():
+                    return False
+        return True
+
+    def _certified(self, ref: NRef, t: int, rv: ReuseVector) -> bool:
+        key = (ref.uid, t)
+        ok = self._cert.get(key)
+        if ok is None:
+            ok = self._certificate(ref, rv)
+            self._cert[key] = ok
+        return ok
+
+    # -- the direct-mapped window certificate -------------------------------------
+
+    def _window_accesses(
+        self, ref: NRef, t: int, rv: ReuseVector
+    ) -> Optional[list[tuple[NRef, int, tuple[Constraint, ...]]]]:
+        """The static interference window of an innermost-only vector.
+
+        Returns ``(reference, innermost offset, presence guard)`` triples in
+        exact walker order, or ``None`` when the window is not statically
+        known: the vector must span only innermost iterations, the
+        consumer's loop must be childless, and the window must fit
+        :data:`MAX_WINDOW`.  A guarded leaf's accesses carry the guard with
+        the innermost variable shifted by the access offset — the walker
+        evaluates leaf guards per iteration, so the access is present
+        exactly where the shifted guard holds at the consumer point.
+        Replicates the end filters of ``Walker.walk_between`` — at the
+        producer's iteration only later lexical positions qualify, and the
+        walk stops at the first position not before the consumer's.
+        """
+        key = (ref.uid, t)
+        if key in self._window:
+            return self._window[key]
+        accesses = self._compute_window(ref, rv)
+        self._window[key] = accesses
+        return accesses
+
+    def _shift_guard(self, guard, offset: int) -> tuple[Constraint, ...]:
+        """A leaf guard as consumer-point constraints, inner var shifted."""
+        if offset == 0:
+            return tuple(guard)
+        inner = self.nprog.index_vars[-1]
+        shift = {inner: Affine.var(inner) + offset}
+        out = []
+        for c in guard:
+            expr = c.expr.substitute(shift)
+            out.append(
+                Constraint.equality(expr)
+                if c.kind == EQ
+                else Constraint.inequality(expr)
+            )
+        return tuple(out)
+
+    def _compute_window(
+        self, ref: NRef, rv: ReuseVector
+    ) -> Optional[list[tuple[NRef, int, tuple[Constraint, ...]]]]:
+        if self.nprog.depth == 0:
+            return None
+        if any(l != 0 for l in rv.label_part()):
+            return None
+        x = rv.index_part()
+        if any(c != 0 for c in x[:-1]) or x[-1] < 0:
+            return None
+        step = x[-1]
+        loop = self.nprog.loop_at(ref.label)
+        if loop.loops:
+            return None
+        producer_lex = rv.producer.lexpos
+        consumer_lex = ref.lexpos
+        accesses: list[tuple[NRef, int, tuple[Constraint, ...]]] = []
+        for offset in range(-step, 1):
+            stop = False
+            for leaf in loop.leaves:
+                guard = self._shift_guard(leaf.guard, offset)
+                for other in leaf.refs:
+                    if offset == -step and other.lexpos <= producer_lex:
+                        continue
+                    if offset == 0 and other.lexpos >= consumer_lex:
+                        stop = True
+                        break
+                    accesses.append((other, offset, guard))
+                    if len(accesses) > MAX_WINDOW:
+                        return None
+                if stop:
+                    break
+            if stop:
+                break
+        return accesses
+
+    def _offset_pairs(
+        self, ref: NRef, accesses: list[tuple[NRef, int, tuple[Constraint, ...]]]
+    ) -> list[tuple[Affine, tuple[Constraint, ...]]]:
+        """Innermost-window accesses as ``(Δ, guard)`` carving pairs."""
+        a_expr = self.addr_affine(ref)
+        inner = self.nprog.index_vars[-1]
+        pairs = []
+        for other, offset, guard in accesses:
+            addr = self.addr_affine(other)
+            if offset:
+                addr = addr.substitute({inner: Affine.var(inner) + offset})
+            pairs.append((addr - a_expr, guard))
+        return pairs
+
+    # -- the crossing-window certificate (one second-innermost step) ---------------
+
+    def _crossing_shape(self, ref: NRef, rv: ReuseVector) -> bool:
+        """True when ``rv`` steps the second-innermost level exactly once.
+
+        Shape: zero label part, index part ``(0, …, 0, 1, s)`` — the window
+        then spans the tail of the previous second-innermost iteration plus
+        the head of the current one, with no complete intermediate loop
+        executions.  Requires the consumer's innermost loop to be the *only*
+        child of its parent, so no sibling subtree intervenes.
+        """
+        n = self.nprog.depth
+        if n < 2:
+            return False
+        if any(l != 0 for l in rv.label_part()):
+            return False
+        x = rv.index_part()
+        if any(c != 0 for c in x[:-2]) or x[-2] != 1:
+            return False
+        loop = self.nprog.loop_at(ref.label)
+        if loop.loops:
+            return False
+        parent = self.nprog.loop_at(ref.label[:-1])
+        return len(parent.loops) == 1 and not parent.leaves
+
+    def _crossing_pairs(
+        self, ref: NRef, rv: ReuseVector, cell: RegionSpace
+    ) -> Optional[list[tuple[Affine, tuple[Constraint, ...]]]]:
+        """Unrolled ``(Δ, guard)`` pairs for a second-innermost crossing.
+
+        The window runs from the producer at ``(…, i₍ₙ₋₁₎−1, iₙ−s)`` to the
+        consumer at ``(…, i₍ₙ₋₁₎, iₙ)``: the rest of the previous inner run
+        and the head of the current one.  Both run lengths are bounded over
+        the *cell* (not the loop bounds — the cell's thinness comes from the
+        negated conditions of earlier reuse vectors), so when the cell's
+        tightened box keeps them under :data:`MAX_CROSS_ITERS` the window
+        unrolls into pinned accesses whose presence guards are the inner
+        bounds.  Returns ``None`` when the shape or budget does not hold.
+        """
+        if not self._crossing_shape(ref, rv):
+            return None
+        nvars = self.nprog.index_vars
+        outer, inner = nvars[-2], nvars[-1]
+        s = rv.index_part()[-1]
+        loop = self.nprog.loop_at(ref.label)
+        prev_map = {outer: Affine.var(outer) - 1}
+        ub_prev = loop.upper.substitute(prev_map)
+        lb_cur = loop.lower
+        p_inner = Affine.var(inner) - s
+        box = cell.tight_ranges()
+        w1 = (ub_prev - p_inner).bounds(box)[1]
+        w2 = (Affine.var(inner) - lb_cur).bounds(box)[1]
+        if w1 < 0 or w2 < 0:
+            return None  # box contradicts producer/consumer containment
+        per_iter = sum(len(leaf.refs) for leaf in loop.leaves)
+        if w1 > MAX_CROSS_ITERS or w2 > MAX_CROSS_ITERS:
+            return None
+        if (w1 + w2 + 2) * per_iter > MAX_CROSS_ACCESSES:
+            return None
+        a_expr = self.addr_affine(ref)
+        producer_lex = rv.producer.lexpos
+        consumer_lex = ref.lexpos
+        pairs: list[tuple[Affine, tuple[Constraint, ...]]] = []
+        # Tail of the previous inner run: u = iₙ − s + ω at outer − 1.
+        for omega in range(0, w1 + 1):
+            subst = dict(prev_map)
+            subst[inner] = p_inner + omega
+            presence: tuple[Constraint, ...] = ()
+            if omega:  # the producer iteration itself is in-bounds by cold
+                presence = (
+                    Constraint.inequality(ub_prev - (p_inner + omega)),
+                )
+            for leaf in loop.leaves:
+                guard = presence + tuple(
+                    Constraint.equality(c.expr.substitute(subst))
+                    if c.kind == EQ
+                    else Constraint.inequality(c.expr.substitute(subst))
+                    for c in leaf.guard
+                )
+                for other in leaf.refs:
+                    if omega == 0 and other.lexpos <= producer_lex:
+                        continue
+                    pairs.append(
+                        (self.addr_affine(other).substitute(subst) - a_expr, guard)
+                    )
+        # Head of the current inner run: u = iₙ − ω (ω = 0 is the consumer's
+        # own iteration, cut at the consumer's lexical position).
+        for omega in range(0, w2 + 1):
+            subst = {inner: Affine.var(inner) - omega}
+            presence = ()
+            if omega:
+                presence = (
+                    Constraint.inequality((Affine.var(inner) - omega) - lb_cur),
+                )
+            for leaf in loop.leaves:
+                guard = presence + tuple(
+                    Constraint.equality(c.expr.substitute(subst))
+                    if c.kind == EQ
+                    else Constraint.inequality(c.expr.substitute(subst))
+                    for c in leaf.guard
+                )
+                for other in leaf.refs:
+                    if omega == 0 and other.lexpos >= consumer_lex:
+                        continue
+                    pairs.append(
+                        (self.addr_affine(other).substitute(subst) - a_expr, guard)
+                    )
+        return pairs
+
+    def _classify_cell_window(
+        self,
+        ref: NRef,
+        cell: RegionSpace,
+        cell_count: int,
+        rv: ReuseVector,
+        pairs: list[tuple[Affine, tuple[Constraint, ...]]],
+        result: RefResult,
+    ) -> Optional[int]:
+        """Carve a decided cell into exact HIT/REPLACEMENT pieces (k = 1).
+
+        ``pairs`` gives each window access as ``(Δ, presence guard)`` with
+        ``Δ = addr_access − addr_consumer`` affine in the consumer point.
+        Splits the cell by consumer residue ``r = a_c mod L``, then applies
+        each access's conflict condition by sequential set difference (a
+        guarded access first splits off the guard-false part, where the
+        access never executes and the region simply survives).  Tallies only
+        after the pieces tile the cell exactly and every piece's
+        representative probe agrees; returns the number of exact pieces, or
+        ``None`` to make the caller fall back (nothing tallied).
+        """
+        line_bytes = self.cache.line_bytes
+        num_sets = self.cache.num_sets
+        modulus = line_bytes * num_sets
+        a_expr = self.addr_affine(ref)
+        deltas: list[tuple[Affine, tuple[Constraint, ...]]] = []
+        seen: set[tuple] = set()
+        for delta, guard in pairs:
+            key = (
+                tuple(sorted(delta.coeffs.items())),
+                delta.constant,
+                tuple(
+                    (c.kind, tuple(sorted(c.expr.coeffs.items())), c.expr.constant)
+                    for c in guard
+                ),
+            )
+            if key in seen:
+                continue  # duplicate address row: same conflict region
+            seen.add(key)
+            deltas.append((delta, guard))
+        g = math.gcd(line_bytes, *a_expr.coeffs.values())
+        classes: list[tuple[RegionSpace, int, int]] = []
+        total = 0
+        for r in range(a_expr.constant % g, line_bytes, g):
+            cls = cell.with_residue(a_expr, line_bytes, r, r)
+            cnt = cls.count()
+            if cnt:
+                classes.append((cls, r, cnt))
+                total += cnt
+        if total != cell_count:
+            obs.counter("cme.regions.partition_mismatch").inc()
+            return None
+        replacement: list[RegionSpace] = []
+        hits: list[RegionSpace] = []
+        for cls, r, _ in classes:
+            survivors = [cls]
+            for delta, guard in deltas:
+                shifted = delta + r
+                nxt: list[RegionSpace] = []
+                for region in survivors:
+                    if len(nxt) + len(replacement) > MAX_PIECES:
+                        return None
+                    # A guarded access splits off the part of the region
+                    # where its guard fails — the access never executes
+                    # there, so that part survives untouched.
+                    present = region
+                    for c in guard:
+                        for neg in negate_constraint(c):
+                            absent = present.conjoin(neg)
+                            if absent.count():
+                                nxt.append(absent)
+                        present = present.conjoin(c)
+                        if present.count() == 0:
+                            break
+                    if present.count() == 0:
+                        continue
+                    in_set = (
+                        present
+                        if modulus == line_bytes
+                        else present.with_residue(
+                            shifted, modulus, 0, line_bytes - 1
+                        )
+                    )
+                    if in_set.count() == 0:
+                        nxt.append(present)  # never maps to the reused set
+                        continue
+                    if modulus > line_bytes:
+                        out_set = present.with_residue(
+                            shifted, modulus, line_bytes, modulus - 1
+                        )
+                        if out_set.count():
+                            nxt.append(out_set)
+                    same_line = in_set.conjoin(
+                        Constraint.inequality(shifted)
+                    ).conjoin(Constraint.inequality((line_bytes - 1) - shifted))
+                    if same_line.count():
+                        nxt.append(same_line)
+                    for conflict in (
+                        in_set.conjoin(Constraint.inequality(-shifted - 1)),
+                        in_set.conjoin(
+                            Constraint.inequality(shifted - line_bytes)
+                        ),
+                    ):
+                        if conflict.count():
+                            replacement.append(conflict)
+                survivors = nxt
+            hits.extend(survivors)
+        if (
+            sum(p.count() for p in replacement) + sum(p.count() for p in hits)
+            != cell_count
+        ):
+            obs.counter("cme.regions.partition_mismatch").inc()
+            return None
+        for pieces, outcome in (
+            (replacement, Outcome.REPLACEMENT),
+            (hits, Outcome.HIT),
+        ):
+            for piece in pieces:
+                rep = piece.representative()
+                probe = (
+                    self.scalar.classify(ref, rep) if rep is not None else None
+                )
+                if (
+                    probe is None
+                    or probe.outcome is not outcome
+                    or not self._via_matches(probe.via, rv)
+                ):
+                    if probe is not None:
+                        obs.counter("cme.regions.probe_mismatch").inc()
+                    return None
+        exact = 0
+        for piece in replacement:
+            cnt = piece.count()
+            result.analysed += cnt
+            result.replacement += cnt
+            exact += 1
+        for piece in hits:
+            cnt = piece.count()
+            result.analysed += cnt
+            result.hits += cnt
+            exact += 1
+        return exact
+
+    # -- decomposition ------------------------------------------------------------
+
+    def decompose(
+        self, ref: NRef
+    ) -> tuple[list[RegionSpace], list[tuple[RegionSpace, int]], list[RegionSpace]]:
+        """Split the RIS into disjoint ``(cold, decided, irregular)`` cells.
+
+        ``decided`` pairs each cell with the index of the reuse vector that
+        decides every one of its points — by construction the cell satisfies
+        the negation of every earlier regular cold condition, so the scalar
+        classifier would pick exactly that vector at any of its points.
+        """
+        ris = self.nprog.ris(ref.leaf)
+        base = RegionSpace(ris.dims, ris.bounds, tuple(ris.guard), ())
+        vectors = self.reuse.vectors_for(ref)
+        conds = self._conditions(ref)
+        line_bytes = self.cache.line_bytes
+        a_expr = self.addr_affine(ref)
+        cold: list[RegionSpace] = []
+        decided: list[tuple[RegionSpace, int]] = []
+        irregular: list[RegionSpace] = []
+        work: list[tuple[RegionSpace, int]] = [(base, 0)]
+        produced = 1
+        while work:
+            cell, t = work.pop()
+            if cell.count() == 0:
+                continue
+            if t == len(vectors):
+                cold.append(cell)
+                continue
+            kind, cons, residue = conds[t]
+            if kind == _NEVER:
+                work.append((cell, t + 1))
+                continue
+            if kind == _IRREGULAR:
+                irregular.append(cell)
+                continue
+            prefix = cell
+            pieces: list[RegionSpace] = []
+            for c in cons:
+                for neg in negate_constraint(c):
+                    pieces.append(prefix.conjoin(neg))
+                prefix = prefix.conjoin(c)
+            if residue is not None:
+                lo_r, hi_r = residue
+                if lo_r > 0:
+                    pieces.append(
+                        prefix.with_residue(a_expr, line_bytes, 0, lo_r - 1)
+                    )
+                if hi_r < line_bytes - 1:
+                    pieces.append(
+                        prefix.with_residue(
+                            a_expr, line_bytes, hi_r + 1, line_bytes - 1
+                        )
+                    )
+                prefix = prefix.with_residue(a_expr, line_bytes, lo_r, hi_r)
+            if prefix.count() == 0:
+                # The vector decides nothing here: keep the cell whole
+                # instead of fragmenting it over a vacuous condition.
+                work.append((cell, t + 1))
+                continue
+            produced += len(pieces) + 1
+            if produced > MAX_CELLS:
+                obs.counter("cme.regions.cell_cap").inc()
+                irregular.append(cell)
+                continue
+            decided.append((prefix, t))
+            for piece in pieces:
+                work.append((piece, t + 1))
+        return cold, decided, irregular
+
+    # -- per-reference solving ------------------------------------------------------
+
+    @staticmethod
+    def _via_matches(via: Optional[ReuseVector], rv: ReuseVector) -> bool:
+        if via is rv:
+            return True
+        return (
+            via is not None
+            and via.vec == rv.vec
+            and via.producer is rv.producer
+            and via.consumer is rv.consumer
+        )
+
+    def _classify_cell(
+        self,
+        ref: NRef,
+        cell: RegionSpace,
+        cell_count: int,
+        rv: ReuseVector,
+        result: RefResult,
+    ) -> tuple[int, list[tuple[int, ...]], int]:
+        """Residue-split a certified decided cell and probe each class.
+
+        Returns ``(exact_classes, fallback_points, fallback_cells)``; the
+        probed outcome of one representative is extrapolated to the whole
+        class only after the probe confirms it was decided by the expected
+        vector (mismatches are counted and enumerated instead).
+        """
+        line_bytes = self.cache.line_bytes
+        a_expr = self.addr_affine(ref)
+        g = math.gcd(line_bytes, *a_expr.coeffs.values())
+        classes: list[tuple[RegionSpace, int]] = []
+        total = 0
+        for r in range(a_expr.constant % g, line_bytes, g):
+            cls = cell.with_residue(a_expr, line_bytes, r, r)
+            cnt = cls.count()
+            if cnt:
+                classes.append((cls, cnt))
+                total += cnt
+        if total != cell_count:
+            obs.counter("cme.regions.partition_mismatch").inc()
+            return 0, list(cell.enumerate_points()), 1
+        exact = 0
+        fallback_pts: list[tuple[int, ...]] = []
+        fallback_cells = 0
+        for cls, cnt in classes:
+            rep = cls.representative()
+            probe = self.scalar.classify(ref, rep) if rep is not None else None
+            if probe is None or not self._via_matches(probe.via, rv):
+                if probe is not None:
+                    obs.counter("cme.regions.probe_mismatch").inc()
+                fallback_cells += 1
+                fallback_pts.extend(cls.enumerate_points())
+                continue
+            result.analysed += cnt
+            if probe.outcome is Outcome.REPLACEMENT:
+                result.replacement += cnt
+            else:
+                result.hits += cnt
+            exact += 1
+        return exact, fallback_pts, fallback_cells
+
+    def _classify_points(
+        self, ref: NRef, points: list[tuple[int, ...]], result: RefResult
+    ) -> None:
+        """Exact fallback: enumerate through the classification backend."""
+        tally = getattr(self.classifier, "tally_ref", None)
+        if tally is not None:  # batch backend: one vectorized call
+            tally(ref, result, points=points)
+            return
+        classify = self.classifier.classify
+        for point in points:
+            outcome = classify(ref, point).outcome
+            result.analysed += 1
+            if outcome is Outcome.COLD:
+                result.cold += 1
+            elif outcome is Outcome.REPLACEMENT:
+                result.replacement += 1
+            else:
+                result.hits += 1
+
+    def solve_ref(self, ref: NRef) -> RefResult:
+        """Classify one reference regionally (the shard unit)."""
+        with obs.span("cme/region_ref"):
+            ris = self.nprog.ris(ref.leaf)
+            population = ris.count()
+            result = RefResult(ref.name(), ref.uid, population=population)
+            vectors = self.reuse.vectors_for(ref)
+            cold, decided, irregular = self.decompose(ref)
+            cold_counts = [(c, c.count()) for c in cold]
+            decided_counts = [(c, t, c.count()) for c, t in decided]
+            irregular_counts = [(c, c.count()) for c in irregular]
+            total = (
+                sum(n for _, n in cold_counts)
+                + sum(n for _, _, n in decided_counts)
+                + sum(n for _, n in irregular_counts)
+            )
+            if total != population:
+                # The cells failed to tile the RIS — never guess: classify
+                # the whole space through the enumeration backend instead.
+                obs.counter("cme.regions.partition_mismatch").inc()
+                whole = RegionSpace(ris.dims, ris.bounds, tuple(ris.guard), ())
+                cold_counts, decided_counts = [], []
+                irregular_counts = [(whole, population)]
+            exact_regions = 0
+            fallback_cells = 0
+            fallback_pts: list[tuple[int, ...]] = []
+            for cell, cnt in cold_counts:
+                if cnt == 0:
+                    continue
+                result.analysed += cnt
+                result.cold += cnt
+                exact_regions += 1
+            for cell, t, cnt in decided_counts:
+                if cnt == 0:
+                    continue
+                rv = vectors[t]
+                if (
+                    self.cache.line_bytes <= MAX_RESIDUE_MODULUS
+                    and self._certified(ref, t, rv)
+                ):
+                    exact, pts, cells = self._classify_cell(
+                        ref, cell, cnt, rv, result
+                    )
+                    exact_regions += exact
+                    fallback_cells += cells
+                    fallback_pts.extend(pts)
+                    continue
+                if (
+                    self.cache.assoc == 1
+                    and self.cache.line_bytes * self.cache.num_sets
+                    <= MAX_RESIDUE_MODULUS
+                ):
+                    accesses = self._window_accesses(ref, t, rv)
+                    pairs = (
+                        self._offset_pairs(ref, accesses)
+                        if accesses is not None
+                        else self._crossing_pairs(ref, rv, cell)
+                    )
+                    if pairs is not None:
+                        exact = self._classify_cell_window(
+                            ref, cell, cnt, rv, pairs, result
+                        )
+                        if exact is not None:
+                            exact_regions += exact
+                            continue
+                fallback_cells += 1
+                fallback_pts.extend(cell.enumerate_points())
+            for cell, cnt in irregular_counts:
+                if cnt == 0:
+                    continue
+                fallback_cells += 1
+                fallback_pts.extend(cell.enumerate_points())
+            if fallback_pts:
+                self._classify_points(ref, fallback_pts, result)
+            result.check_invariants(exhaustive=True)
+            obs.counter("cme.regions.exact_regions").inc(exact_regions)
+            obs.counter("cme.regions.fallback_regions").inc(
+                1 if fallback_pts else 0
+            )
+            obs.counter("cme.regions.fallback_cells").inc(fallback_cells)
+            obs.counter("cme.regions.fallback_points").inc(len(fallback_pts))
+            record_ref_metrics(result, self.classifier)
+        return result
+
+
+def region_ref_misses(
+    classifier, nprog: NormalizedProgram, ref: NRef
+) -> RefResult:
+    """Classify one reference regionally (parallel-engine shard unit).
+
+    Mirrors :func:`repro.cme.find.find_ref_misses`: the solver state is
+    cached on the classifier, so repeated calls share decompositions.
+    """
+    return RegionSolver.for_classifier(classifier).solve_ref(ref)
+
+
+def regional_coverage(
+    nprog: NormalizedProgram,
+    layout: MemoryLayout,
+    cache: CacheConfig,
+    reuse: ReuseTable,
+) -> float:
+    """Fraction of (consumer, vector) pairs solvable in closed form.
+
+    A cheap static probe — no decomposition, no counting — used by the
+    layout-optimisation searches to pick the cheapest inner solver:
+    ``regions`` when the program is fully regular, ``estimate`` otherwise.
+    A pair counts as covered when its cold condition is provably never
+    satisfiable, or is regular *and* carries a closed-form certificate
+    (replacement uniformity, or the direct-mapped static window).  1.0 for
+    programs with no reuse vectors at all.
+    """
+    solver = RegionSolver(nprog, layout, cache, reuse)
+    windowable = (
+        cache.assoc == 1
+        and cache.line_bytes * cache.num_sets <= MAX_RESIDUE_MODULUS
+    )
+    total = covered = 0
+    for ref in nprog.refs:
+        for t, rv in enumerate(reuse.vectors_for(ref)):
+            total += 1
+            kind, _, _ = solver._cold_condition(ref, rv)
+            if kind == _NEVER:
+                covered += 1
+            elif kind == _REGULAR and (
+                solver._certified(ref, t, rv)
+                or (
+                    windowable
+                    and (
+                        solver._window_accesses(ref, t, rv) is not None
+                        or solver._crossing_shape(ref, rv)
+                    )
+                )
+            ):
+                covered += 1
+    return 1.0 if total == 0 else covered / total
+
+
+def region_misses(
+    nprog: NormalizedProgram,
+    layout: MemoryLayout,
+    cache: CacheConfig,
+    reuse: Optional[ReuseTable] = None,
+    walker=None,
+    refs: Optional[Iterable[NRef]] = None,
+    reuse_options: Optional[ReuseOptions] = None,
+    jobs: int = 1,
+    memo: Optional["Memoizer"] = None,
+    backend: Optional[str] = None,
+) -> MissReport:
+    """Classify every reference by regional decomposition (``--method regions``).
+
+    Parameters mirror :func:`~repro.cme.find.find_misses` and the report is
+    exactly equal to its (``FindMisses``) classifications — regions is an
+    execution strategy, not an approximation.  ``jobs`` shards references
+    across the parallel engine, ``memo`` enables content-addressed
+    memoization of per-reference region solutions (keyed under the
+    ``regions`` method, like point solutions), and ``backend`` selects the
+    enumeration backend used for irregular fallback regions.
+    """
+    started = time.perf_counter()
+    if reuse is None:
+        reuse = build_reuse_table(nprog, cache.line_bytes, reuse_options)
+    targets = list(refs) if refs is not None else list(nprog.refs)
+    if jobs != 1:  # 0/negative/None mean "all CPUs" (resolved by the engine)
+        from repro.parallel import solve_parallel
+
+        return solve_parallel(
+            "regions",
+            nprog,
+            layout,
+            cache,
+            reuse,
+            jobs,
+            refs=targets,
+            memo=memo,
+            backend=backend,
+        )
+    classifier = make_classifier(backend, nprog, layout, cache, reuse, walker)
+    report = MissReport("RegionMisses", cache)
+    with obs.span("cme/regions"):
+        if memo is not None:
+            plan = memo.session("regions", nprog, layout, cache, reuse).plan(
+                targets
+            )
+            for ref in plan.solve:
+                result = region_ref_misses(classifier, nprog, ref)
+                report.results[ref.uid] = result
+                plan.add(ref, result)
+            report.results = plan.finish(report.results)
+        else:
+            for ref in targets:
+                report.results[ref.uid] = region_ref_misses(
+                    classifier, nprog, ref
+                )
+    report.elapsed_seconds = time.perf_counter() - started
+    report.solver_seconds = report.elapsed_seconds
+    if obs.is_enabled():
+        report.metrics = obs.snapshot()
+    return report

@@ -90,6 +90,12 @@ def build_row(
     points = counters.get("cme.points.classified", 0)
     if points and wall_seconds:
         auto["points_per_second"] = points / wall_seconds
+    exact = counters.get("cme.regions.exact_regions", 0)
+    fallback = counters.get("cme.regions.fallback_regions", 0)
+    if exact + fallback:
+        # The regional solver's quality signal: the fraction of regions it
+        # counted in closed form (vs per-point enumeration fallback).
+        auto["regions.exact_ratio"] = exact / (exact + fallback)
     auto.update(derived or {})
 
     return {

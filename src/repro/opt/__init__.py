@@ -7,6 +7,7 @@ scoring for padding (conflict misses) and tiling (capacity misses).
 
 from repro.opt.geometry import GeometryPoint, miss_ratio_curve, sweep_geometries
 from repro.opt.padding import PaddingChoice, evaluate_padding, search_padding
+from repro.opt.select import choose_method
 from repro.opt.tiling import TileChoice, best_tile, search_tiles
 
 __all__ = [
@@ -19,4 +20,5 @@ __all__ = [
     "TileChoice",
     "best_tile",
     "search_tiles",
+    "choose_method",
 ]

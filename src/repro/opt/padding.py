@@ -17,6 +17,7 @@ from typing import Mapping, Optional, Sequence, TYPE_CHECKING, Union
 from repro.analysis import analyze, prepare
 from repro.ir.nodes import Program
 from repro.layout.cache import CacheConfig
+from repro.opt.select import choose_method
 
 if TYPE_CHECKING:
     from repro.memo import Memoizer
@@ -41,17 +42,23 @@ def evaluate_padding(
     program: Program,
     cache: CacheConfig,
     pad_bytes: Union[int, Mapping[str, int]],
-    method: str = "estimate",
+    method: Optional[str] = None,
     seed: int = 0,
     memo: Optional["Memoizer"] = None,
 ) -> PaddingChoice:
     """Score one padding configuration analytically.
 
-    ``memo`` makes sweeps near-free after the first configurations: pads
-    that leave the relevant base-address relationships unchanged replay
-    memoized solutions instead of re-solving.
+    ``method=None`` picks the cheapest sound inner solver per layout
+    (:func:`repro.opt.select.choose_method`): exact ``regions`` when the
+    program is fully covered by closed-form certificates, ``estimate``
+    otherwise.  ``memo`` makes sweeps near-free after the first
+    configurations: pads that leave the relevant base-address
+    relationships unchanged replay memoized solutions instead of
+    re-solving.
     """
     prepared = prepare(program, align=cache.line_bytes, pad_bytes=pad_bytes)
+    if method is None:
+        method = choose_method(prepared, cache)
     report = analyze(prepared, cache, method=method, seed=seed, memo=memo)
     key = (
         pad_bytes
@@ -66,15 +73,18 @@ def search_padding(
     cache: CacheConfig,
     candidates: Sequence[int] = (0, 32, 64, 128, 256),
     array: Optional[str] = None,
-    method: str = "estimate",
+    method: Optional[str] = None,
     seed: int = 0,
     memo: Optional["Memoizer"] = None,
 ) -> list[PaddingChoice]:
     """Evaluate candidate pads and return choices sorted best first.
 
     ``array`` restricts the pad to one array (others stay unpadded);
-    ``None`` applies the same pad after every array.  ``memo`` is shared
-    across all candidates, so equivalent layouts are only solved once.
+    ``None`` applies the same pad after every array.  ``method=None``
+    defaults each evaluation to the cheapest sound solver (``regions``
+    under full closed-form coverage, else ``estimate``).  ``memo`` is
+    shared across all candidates, so equivalent layouts are only solved
+    once.
     """
     results = []
     for pad in candidates:

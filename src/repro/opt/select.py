@@ -1,0 +1,45 @@
+"""Inner-solver selection for the optimisation searches.
+
+The padding and tiling sweeps evaluate many candidate layouts; the cost of
+one evaluation depends on which CME solver scores it.  ``regions`` is both
+exact and bound-independent — but only when the program's reuse structure
+is covered by its closed-form certificates; residual regions enumerate
+point by point and would make a sweep scale with the loop bounds again.
+``EstimateMisses`` is always bound-independent but statistical.
+
+:func:`choose_method` makes that call per ``(program, cache)`` with the
+static probe :func:`repro.cme.regions.regional_coverage` (no decomposition
+or counting): ``regions`` when every (consumer, vector) pair has a
+closed-form certificate, ``estimate`` otherwise.  Every decision is
+observable as ``opt.method.regions`` / ``opt.method.estimate``.
+"""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.analysis import PreparedProgram
+from repro.cme.regions import regional_coverage
+from repro.layout.cache import CacheConfig
+
+#: Minimum closed-form coverage for ``regions`` to be the cheaper scorer.
+#: Below full coverage the residual regions are enumerated exhaustively,
+#: whose cost grows with the loop bounds — exactly what a sweep must avoid.
+COVERAGE_THRESHOLD = 1.0
+
+
+def choose_method(
+    prepared: PreparedProgram, cache: CacheConfig
+) -> str:
+    """The cheapest sound inner solver for scoring ``prepared`` layouts.
+
+    Returns ``"regions"`` (exact, bound-independent) when the static
+    coverage probe reaches :data:`COVERAGE_THRESHOLD`, else
+    ``"estimate"`` (statistical, bound-independent).
+    """
+    reuse = prepared.reuse_table(cache.line_bytes)
+    coverage = regional_coverage(
+        prepared.nprog, prepared.layout, cache, reuse
+    )
+    method = "regions" if coverage >= COVERAGE_THRESHOLD else "estimate"
+    obs.counter(f"opt.method.{method}").inc()
+    return method

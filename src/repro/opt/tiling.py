@@ -16,6 +16,7 @@ from typing import Callable, Optional, Sequence, TYPE_CHECKING
 from repro.analysis import analyze, prepare
 from repro.ir.nodes import Program
 from repro.layout.cache import CacheConfig
+from repro.opt.select import choose_method
 
 if TYPE_CHECKING:
     from repro.memo import Memoizer
@@ -34,20 +35,29 @@ def search_tiles(
     builder: Callable[..., Program],
     candidates: Sequence[tuple[int, ...]],
     cache: CacheConfig,
-    method: str = "estimate",
+    method: Optional[str] = None,
     seed: int = 0,
     memo: Optional["Memoizer"] = None,
 ) -> list[TileChoice]:
     """Score each candidate tile (builder is called as ``builder(*tile)``).
 
     Returns the choices sorted best (lowest predicted miss ratio) first.
-    ``memo`` is shared across candidates (and, with a persistent store,
-    across whole sweeps), so repeated equation systems are solved once.
+    ``method=None`` defaults each evaluation to the cheapest sound solver
+    (exact ``regions`` under full closed-form coverage, ``estimate``
+    otherwise — blocked kernels differ per tile, so the probe runs per
+    candidate).  ``memo`` is shared across candidates (and, with a
+    persistent store, across whole sweeps), so repeated equation systems
+    are solved once.
     """
     results = []
     for tile in candidates:
         prepared = prepare(builder(*tile))
-        report = analyze(prepared, cache, method=method, seed=seed, memo=memo)
+        tile_method = (
+            choose_method(prepared, cache) if method is None else method
+        )
+        report = analyze(
+            prepared, cache, method=tile_method, seed=seed, memo=memo
+        )
         results.append(
             TileChoice(tuple(tile), report.miss_ratio_percent,
                        report.elapsed_seconds)
@@ -60,7 +70,7 @@ def best_tile(
     builder: Callable[..., Program],
     candidates: Sequence[tuple[int, ...]],
     cache: CacheConfig,
-    method: str = "estimate",
+    method: Optional[str] = None,
     seed: int = 0,
     memo: Optional["Memoizer"] = None,
 ) -> TileChoice:

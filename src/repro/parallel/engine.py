@@ -113,6 +113,7 @@ def _solve_chunk(task: Task) -> tuple[list[RefResult], float, Optional[dict]]:
     """
     from repro.cme.estimate import estimate_ref_misses
     from repro.cme.find import find_ref_misses
+    from repro.cme.regions import region_ref_misses
     from repro.obs.resource import peak_rss_bytes
 
     method, uids, confidence, width, seed, ship_obs, ship_timeline = task
@@ -128,6 +129,8 @@ def _solve_chunk(task: Task) -> tuple[list[RefResult], float, Optional[dict]]:
         ref = nprog.refs[uid]
         if method == "find":
             results.append(find_ref_misses(classifier, nprog, ref))
+        elif method == "regions":
+            results.append(region_ref_misses(classifier, nprog, ref))
         else:
             results.append(
                 estimate_ref_misses(
@@ -222,6 +225,10 @@ class ParallelEngine:
         """Exhaustive ``FindMisses`` across the pool."""
         return self._solve("find", refs, 0.0, 0.0, 0)
 
+    def regions(self, refs: Optional[Iterable[NRef]] = None) -> MissReport:
+        """Regional ``RegionMisses`` across the pool (equal to :meth:`find`)."""
+        return self._solve("regions", refs, 0.0, 0.0, 0)
+
     def estimate(
         self,
         refs: Optional[Iterable[NRef]] = None,
@@ -261,7 +268,10 @@ class ParallelEngine:
             ).plan(targets)
             targets = plan.solve
         uids = [ref.uid for ref in targets]
-        name = "FindMisses" if method == "find" else "EstimateMisses"
+        name = {
+            "find": "FindMisses",
+            "regions": "RegionMisses",
+        }.get(method, "EstimateMisses")
         report = MissReport(name, self.cache, jobs=self.jobs)
         obs.gauge("parallel.jobs").set(self.jobs)
         with obs.span("parallel/solve"):
@@ -348,12 +358,16 @@ def solve_parallel(
 ) -> MissReport:
     """One-shot parallel solve (ephemeral :class:`ParallelEngine`).
 
-    ``method`` is ``"find"`` or ``"estimate"``; everything else mirrors the
-    serial solvers in :mod:`repro.cme`.
+    ``method`` is ``"find"``, ``"estimate"`` or ``"regions"``; everything
+    else mirrors the serial solvers in :mod:`repro.cme`.
     """
-    if method not in ("find", "estimate"):
-        raise ValueError(f"unknown method {method!r}; use 'find' or 'estimate'")
+    if method not in ("find", "estimate", "regions"):
+        raise ValueError(
+            f"unknown method {method!r}; use 'find', 'estimate' or 'regions'"
+        )
     with ParallelEngine(nprog, layout, cache, reuse, jobs, memo, backend) as engine:
         if method == "find":
             return engine.find(refs)
+        if method == "regions":
+            return engine.regions(refs)
         return engine.estimate(refs, confidence, width, seed)

@@ -16,25 +16,52 @@ needs:
 * :class:`~repro.polyhedra.space.BoundedSpace` — per-dimension affine bounds
   plus guard constraints, with exact point counting, membership, lexicographic
   enumeration and uniform integer-point sampling (the "volume of a RIS"
-  computation of Fig. 6).
+  computation of Fig. 6),
+* :class:`~repro.polyhedra.regions.RegionSpace` — bounded spaces extended
+  with residue-class constraints and periodic counting, the cells of the
+  regional CME solver (loop-bound-independent exact counts).
 """
 
 from repro.polyhedra.affine import Affine, Var
 from repro.polyhedra.constraints import Constraint, ConstraintSet
 from repro.polyhedra.intsolve import (
+    count_range_residue,
+    first_range_residue,
     hermite_normal_form,
     nullspace_basis,
+    residue_period,
     solve_integer,
 )
-from repro.polyhedra.space import BoundedSpace
+from repro.polyhedra.regions import (
+    RegionSpace,
+    ResidueConstraint,
+    negate_constraint,
+    region_of_space,
+)
+from repro.polyhedra.space import (
+    BoundedSpace,
+    cached_count,
+    clear_count_cache,
+    count_cache_size,
+)
 
 __all__ = [
     "Affine",
     "Var",
     "Constraint",
     "ConstraintSet",
+    "count_range_residue",
+    "first_range_residue",
     "hermite_normal_form",
     "nullspace_basis",
+    "residue_period",
     "solve_integer",
     "BoundedSpace",
+    "RegionSpace",
+    "ResidueConstraint",
+    "negate_constraint",
+    "region_of_space",
+    "cached_count",
+    "clear_count_cache",
+    "count_cache_size",
 ]

@@ -15,11 +15,20 @@ error):
   ``None`` when no integer solution exists),
 * :func:`nullspace_basis` — a lattice basis of ``{x : A·x = 0}``.
 
+It also provides the residue-class arithmetic of the regional CME solver
+(:mod:`repro.cme.regions`): the memory-line equality of the cold equations
+confines an address expression modulo the line size, so counting a region
+reduces to counting ``v ≡ r (mod p)`` inside an interval — closed forms
+(:func:`count_range_residue`, :func:`first_range_residue`) whose cost is
+independent of the interval length, which is precisely what makes regional
+analysis time flat in the loop bounds.
+
 Matrices are plain ``list[list[int]]`` (rows); vectors are ``list[int]``.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Optional, Sequence
 
 from repro import obs
@@ -182,3 +191,46 @@ def matvec(a: Sequence[Sequence[int]], x: Sequence[int]) -> Vector:
 def is_zero_vector(v: Sequence[int]) -> bool:
     """True if every component is zero."""
     return all(c == 0 for c in v)
+
+
+# -- residue-class (periodic) counting ----------------------------------------
+#
+# The cold equations of the regional solver confine a byte-address expression
+# ``a(i) mod L`` to an interval, so the innermost counting problem is always
+# "how many v in [lo, hi] satisfy a congruence" — answered in closed form.
+
+
+def residue_period(coeff: int, modulus: int) -> int:
+    """The period of ``v ↦ (coeff·v) mod modulus`` over consecutive ``v``.
+
+    ``modulus / gcd(coeff, modulus)`` — 1 when ``coeff ≡ 0 (mod modulus)``,
+    so constraints whose variable coefficient vanishes modulo the line size
+    cost nothing to iterate.
+    """
+    if modulus <= 0:
+        raise ValueError(f"modulus must be positive, got {modulus}")
+    return modulus // math.gcd(coeff, modulus)
+
+
+def count_range_residue(lo: int, hi: int, period: int, residue: int) -> int:
+    """``|{v ∈ [lo, hi] : v ≡ residue (mod period)}|`` in closed form."""
+    if period <= 0:
+        raise ValueError(f"period must be positive, got {period}")
+    if hi < lo:
+        return 0
+    first = lo + ((residue - lo) % period)
+    if first > hi:
+        return 0
+    return (hi - first) // period + 1
+
+
+def first_range_residue(
+    lo: int, hi: int, period: int, residue: int
+) -> Optional[int]:
+    """The smallest ``v ∈ [lo, hi]`` with ``v ≡ residue (mod period)``."""
+    if period <= 0:
+        raise ValueError(f"period must be positive, got {period}")
+    if hi < lo:
+        return None
+    first = lo + ((residue - lo) % period)
+    return first if first <= hi else None

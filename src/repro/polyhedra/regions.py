@@ -1,0 +1,550 @@
+"""Region cells: bounded spaces extended with residue-class constraints.
+
+The regional CME solver (:mod:`repro.cme.regions`) decomposes a reference
+iteration space into disjoint *cells*: the per-dimension bounds of the RIS
+conjoined with translated producer-RIS constraints (general affine
+equalities/inequalities over all dimensions) and with *residue constraints*
+— the memory-line equality of the cold equations confines the consumer's
+byte address modulo the line size to an interval.  A :class:`RegionSpace`
+is one such cell, and its operations are engineered so that exact counting
+costs a function of the cell's *structure*, never of the loop bounds:
+
+* affine constraints are resolved by **bound tightening** — a constraint
+  anchored at its deepest dimension reduces, once the outer dimensions are
+  fixed, to ``c·v + k ⋈ 0`` and therefore to an interval adjustment, so no
+  constraint ever forces per-value iteration;
+* residue constraints are resolved by **periodic counting** — satisfaction
+  of ``(c·v + k) mod m ∈ [a, b]`` is periodic in ``v`` with period
+  ``m / gcd(c, m)``, so one period is scanned and each class is weighted by
+  the closed-form :func:`~repro.polyhedra.intsolve.count_range_residue`;
+* memo keys at each depth use, for outer variables that matter only through
+  a residue constraint, the *partial sum modulo the modulus* instead of the
+  raw value — so an outer loop of a million iterations collapses onto at
+  most ``m`` distinct subproblems.
+
+Counts are memoized per instance and shared across instances through the
+canonical-signature cache of :mod:`repro.polyhedra.space`
+(``polyhedra.count.cache_hits``).  Enumeration and representative search
+exist for the solver's fallback and probing paths.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
+
+from repro.polyhedra.affine import Affine
+from repro.polyhedra.constraints import Constraint, ConstraintSet, EQ
+from repro.polyhedra.intsolve import count_range_residue, residue_period
+from repro.polyhedra.space import cached_count
+
+#: Default cap on subtree-count probes during representative search.
+REPRESENTATIVE_BUDGET = 4096
+
+
+@dataclass(frozen=True)
+class ResidueConstraint:
+    """The constraint ``(expr mod modulus) ∈ [lo, hi]``.
+
+    ``expr`` is canonicalised modulo ``modulus`` at construction (every
+    coefficient and the constant reduced into ``[0, modulus)``), so two
+    constraints describing the same residue condition share one signature
+    and therefore one cached count.
+    """
+
+    expr: Affine
+    modulus: int
+    lo: int
+    hi: int
+
+    @staticmethod
+    def make(
+        expr: Affine, modulus: int, lo: int, hi: int
+    ) -> "ResidueConstraint":
+        """Build a canonical residue constraint (validates the interval)."""
+        if modulus <= 0:
+            raise ValueError(f"modulus must be positive, got {modulus}")
+        if not (0 <= lo <= hi < modulus):
+            raise ValueError(
+                f"residue interval [{lo}, {hi}] not within [0, {modulus})"
+            )
+        reduced = Affine(
+            {v: c % modulus for v, c in expr.coeffs.items()},
+            expr.constant % modulus,
+        )
+        return ResidueConstraint(reduced, modulus, lo, hi)
+
+    def satisfied(self, env: Mapping[str, int]) -> bool:
+        """True if the residue condition holds at the point ``env``."""
+        return self.lo <= self.expr.evaluate(env) % self.modulus <= self.hi
+
+    def variables(self) -> frozenset[str]:
+        """Variables with non-vanishing coefficients modulo the modulus."""
+        return self.expr.variables()
+
+    def __repr__(self) -> str:
+        return f"({self.expr} mod {self.modulus} in [{self.lo}, {self.hi}])"
+
+
+def _anchor(vars_: frozenset[str], dim_index: dict[str, int]) -> int:
+    """The deepest dimension index a variable set mentions."""
+    return max(dim_index[v] for v in vars_)
+
+
+class RegionSpace:
+    """An integer region: per-dimension bounds + affine + residue constraints.
+
+    Parameters
+    ----------
+    dims:
+        Ordered variable names ``(v1, …, vn)``.
+    bounds:
+        One affine ``(lower, upper)`` pair per dimension; the bounds of
+        dimension ``k`` may reference only ``v1..v(k-1)`` (the RIS shape).
+    constraints:
+        General affine constraints over any of the dimensions (translated
+        producer bounds, guards, negated cold conditions).
+    residues:
+        :class:`ResidueConstraint` conjuncts (memory-line conditions).
+    """
+
+    def __init__(
+        self,
+        dims: Sequence[str],
+        bounds: Sequence[tuple[Affine, Affine]],
+        constraints: Iterable[Constraint] = (),
+        residues: Iterable[ResidueConstraint] = (),
+    ):
+        if len(dims) != len(bounds):
+            raise ValueError("one (lower, upper) bound pair required per dimension")
+        self.dims = tuple(dims)
+        self.bounds = tuple(
+            (Affine.coerce(lo), Affine.coerce(hi)) for lo, hi in bounds
+        )
+        self._n = len(self.dims)
+        self._dim_index = {name: k for k, name in enumerate(self.dims)}
+        known = set(self.dims)
+        self._empty = False
+        # Constraints: drop trivially-true, detect trivially-false, anchor
+        # the rest at the deepest dimension they mention.
+        kept_cons: list[Constraint] = []
+        self._cons_at: list[list[Constraint]] = [[] for _ in range(self._n)]
+        for c in constraints:
+            if c.trivially_true():
+                continue
+            if c.trivially_false():
+                self._empty = True
+                continue
+            extra = c.variables() - known
+            if extra:
+                raise ValueError(
+                    f"constraint {c!r} references unknown variables {sorted(extra)}"
+                )
+            kept_cons.append(c)
+            self._cons_at[_anchor(c.variables(), self._dim_index)].append(c)
+        self.constraints = tuple(kept_cons)
+        # Residues: constant ones resolve now, the rest anchor like guards.
+        kept_res: list[ResidueConstraint] = []
+        self._res_at: list[list[ResidueConstraint]] = [[] for _ in range(self._n)]
+        for r in residues:
+            vs = r.variables()
+            if not vs:
+                if not (r.lo <= r.expr.constant % r.modulus <= r.hi):
+                    self._empty = True
+                continue
+            extra = vs - known
+            if extra:
+                raise ValueError(
+                    f"residue {r!r} references unknown variables {sorted(extra)}"
+                )
+            kept_res.append(r)
+            self._res_at[_anchor(vs, self._dim_index)].append(r)
+        self.residues = tuple(kept_res)
+        for k, (lo, hi) in enumerate(self.bounds):
+            allowed = set(self.dims[:k])
+            for expr in (lo, hi):
+                extra = expr.variables() - allowed
+                if extra:
+                    raise ValueError(
+                        f"bound {expr} of dimension {self.dims[k]} references "
+                        f"non-outer variables {sorted(extra)}"
+                    )
+        # Relevance, per depth d:
+        #  * raw vars — already-fixed variables whose *value* the subproblem
+        #    at depth d depends on (bounds or affine constraints at >= d);
+        #  * residue partials — residues anchored at >= d contribute their
+        #    partial sum mod m to the memo key instead of raw values.
+        self._raw_vars: list[tuple[str, ...]] = []
+        self._res_from: list[tuple[ResidueConstraint, ...]] = []
+        for d in range(self._n + 1):
+            raw: set[str] = set()
+            for e in range(d, self._n):
+                for expr in self.bounds[e]:
+                    raw |= expr.variables()
+                for c in self._cons_at[e]:
+                    raw |= c.variables()
+            self._raw_vars.append(
+                tuple(v for v in self.dims[:d] if v in raw)
+            )
+            suffix: list[ResidueConstraint] = []
+            for e in range(d, self._n):
+                suffix.extend(self._res_at[e])
+            self._res_from.append(tuple(suffix))
+        self._count_memo: dict[tuple, int] = {}
+
+    # -- basic queries ---------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return self._n
+
+    def is_trivially_empty(self) -> bool:
+        """True if a constant constraint already rules out all points."""
+        return self._empty
+
+    def _base_constraints(self) -> tuple[Constraint, ...]:
+        """The kept constraints, plus an explicit ``false`` when the space
+        was emptied by a *constant* constraint or residue.
+
+        Construction drops constant conjuncts after folding them into
+        ``_empty`` — derived spaces must re-materialise that emptiness, or
+        ``conjoin``/``with_residue`` on an empty region would resurrect
+        points.
+        """
+        if self._empty:
+            return self.constraints + (
+                Constraint.inequality(Affine.const(-1)),
+            )
+        return self.constraints
+
+    def conjoin(self, constraint: Constraint) -> "RegionSpace":
+        """A new region with one more affine constraint."""
+        return RegionSpace(
+            self.dims,
+            self.bounds,
+            self._base_constraints() + (constraint,),
+            self.residues,
+        )
+
+    def with_residue(
+        self, expr: Affine, modulus: int, lo: int, hi: int
+    ) -> "RegionSpace":
+        """A new region additionally requiring ``expr mod modulus ∈ [lo, hi]``."""
+        return RegionSpace(
+            self.dims,
+            self.bounds,
+            self._base_constraints(),
+            self.residues + (ResidueConstraint.make(expr, modulus, lo, hi),),
+        )
+
+    def tight_ranges(self) -> dict[str, tuple[int, int]]:
+        """Conservative per-dimension ``(min, max)`` box, constraint-aware.
+
+        Like ``BoundedSpace.var_ranges`` but each affine constraint anchored
+        at a dimension also narrows that dimension's interval (one forward
+        pass of interval arithmetic).  Crucial for the crossing-window
+        certificate: a decided cell's thinness lives in its *constraints*
+        (negated earlier cold conditions, producer containment), not in the
+        raw loop bounds.
+        """
+        ranges: dict[str, tuple[int, int]] = {}
+        for d, (lo_e, hi_e) in enumerate(self.bounds):
+            lo, _ = lo_e.bounds(ranges)
+            _, hi = hi_e.bounds(ranges)
+            var = self.dims[d]
+            for c in self._cons_at[d]:
+                coeff = c.expr.coeff(var)
+                if coeff == 0:
+                    continue
+                rest = Affine(
+                    {v: k for v, k in c.expr.coeffs.items() if v != var},
+                    c.expr.constant,
+                )
+                r_lo, r_hi = rest.bounds(ranges)
+                # coeff·v + rest >= 0 over rest ∈ [r_lo, r_hi] (weakest case).
+                if coeff > 0:
+                    lo = max(lo, -(r_hi // coeff))
+                else:
+                    hi = min(hi, r_hi // -coeff)
+                if c.kind == EQ:  # also -coeff·v - rest >= 0
+                    if coeff > 0:
+                        hi = min(hi, (-r_lo) // coeff)
+                    else:
+                        lo = max(lo, -((-r_lo) // -coeff))
+            ranges[var] = (lo, max(lo, hi))
+        return ranges
+
+    def contains(self, point: Sequence[int]) -> bool:
+        """True if ``point`` (one integer per dimension) lies in the region."""
+        if len(point) != self._n or self._empty:
+            return False
+        env = dict(zip(self.dims, point))
+        for k, (lo, hi) in enumerate(self.bounds):
+            if not (lo.evaluate(env) <= point[k] <= hi.evaluate(env)):
+                return False
+        return all(c.satisfied(env) for c in self.constraints) and all(
+            r.satisfied(env) for r in self.residues
+        )
+
+    # -- counting ----------------------------------------------------------------
+
+    def signature(self) -> tuple:
+        """Canonical hashable signature (shared-count cache key)."""
+        return (
+            "region",
+            self.dims,
+            self.bounds,
+            frozenset(self.constraints),
+            frozenset(self.residues),
+        )
+
+    def count(self) -> int:
+        """The exact number of integer points in the region.
+
+        Memoized per instance and, via the canonical signature, across
+        instances (``polyhedra.count.cache_hits``).
+        """
+        if self._empty:
+            return 0
+        return cached_count(
+            self.signature(), lambda: self._count_from(0, {})
+        )
+
+    def _memo_key(self, d: int, env: dict[str, int]) -> tuple:
+        key: list = [d]
+        for v in self._raw_vars[d]:
+            key.append(env[v])
+        for r in self._res_from[d]:
+            key.append(self._res_partial(r, env))
+        return tuple(key)
+
+    @staticmethod
+    def _res_partial(r: ResidueConstraint, env: Mapping[str, int]) -> int:
+        """The fixed-variable part of a residue expression, mod the modulus."""
+        total = r.expr.constant
+        for name, c in r.expr.coeffs.items():
+            v = env.get(name)
+            if v is not None:
+                total += c * v
+        return total % r.modulus
+
+    @staticmethod
+    def _split_var(
+        expr: Affine, var: str, env: Mapping[str, int]
+    ) -> tuple[int, int]:
+        """``expr = coeff·var + rest`` with ``rest`` evaluated under ``env``."""
+        coeff = 0
+        rest = expr.constant
+        for name, c in expr.coeffs.items():
+            if name == var:
+                coeff = c
+            else:
+                rest += c * env[name]
+        return coeff, rest
+
+    def _tightened_range(
+        self, d: int, env: dict[str, int]
+    ) -> Optional[tuple[int, int]]:
+        """The value range of dimension ``d`` under bounds + anchored affine
+        constraints (``None`` = provably empty).
+
+        Every affine constraint anchored at ``d`` mentions only already-fixed
+        variables besides ``dims[d]``, so it always reduces to an interval
+        adjustment — never to a per-value check.
+        """
+        lo = self.bounds[d][0].evaluate(env)
+        hi = self.bounds[d][1].evaluate(env)
+        var = self.dims[d]
+        for c in self._cons_at[d]:
+            coeff, rest = self._split_var(c.expr, var, env)
+            if c.kind == EQ:
+                if coeff == 0:
+                    if rest != 0:
+                        return None
+                elif rest % coeff:
+                    return None
+                else:
+                    pinned = -rest // coeff
+                    lo = max(lo, pinned)
+                    hi = min(hi, pinned)
+            else:  # coeff·v + rest >= 0
+                if coeff > 0:
+                    lo = max(lo, -(rest // coeff))
+                elif coeff < 0:
+                    hi = min(hi, rest // -coeff)
+                elif rest < 0:
+                    return None
+        return (lo, hi) if hi >= lo else None
+
+    def _anchored_checks(
+        self, d: int, env: dict[str, int]
+    ) -> list[tuple[int, int, int, int, int]]:
+        """Residues anchored at ``d`` reduced to ``(coeff, rest, m, lo, hi)``."""
+        var = self.dims[d]
+        checks = []
+        for r in self._res_at[d]:
+            coeff, rest = self._split_var(r.expr, var, env)
+            checks.append((coeff, rest, r.modulus, r.lo, r.hi))
+        return checks
+
+    def _count_from(self, d: int, env: dict[str, int]) -> int:
+        if d == self._n:
+            return 1
+        key = self._memo_key(d, env)
+        cached = self._count_memo.get(key)
+        if cached is not None:
+            return cached
+        total = 0
+        rng = self._tightened_range(d, env)
+        if rng is not None:
+            lo, hi = rng
+            var = self.dims[d]
+            checks = self._anchored_checks(d, env)
+            if var not in self._raw_vars[d + 1]:
+                # This dimension matters below (if at all) only through
+                # residue partials — satisfaction and every deeper count are
+                # periodic in it, so scan one period and weight each class
+                # by its closed-form multiplicity.
+                period = 1
+                for coeff, _, m, _, _ in checks:
+                    period = math.lcm(period, residue_period(coeff, m))
+                for r in self._res_from[d + 1]:
+                    coeff = r.expr.coeff(var)
+                    if coeff:
+                        period = math.lcm(
+                            period, residue_period(coeff, r.modulus)
+                        )
+                if period < hi - lo + 1:
+                    for w in range(lo, lo + period):
+                        if all(
+                            rl <= (cf * w + rest) % m <= rh
+                            for cf, rest, m, rl, rh in checks
+                        ):
+                            env[var] = w
+                            inner = self._count_from(d + 1, env)
+                            if inner:
+                                total += inner * count_range_residue(
+                                    lo, hi, period, w % period
+                                )
+                    env.pop(var, None)
+                    self._count_memo[key] = total
+                    return total
+            for value in range(lo, hi + 1):
+                if all(
+                    rl <= (cf * value + rest) % m <= rh
+                    for cf, rest, m, rl, rh in checks
+                ):
+                    env[var] = value
+                    total += self._count_from(d + 1, env)
+            env.pop(var, None)
+        self._count_memo[key] = total
+        return total
+
+    # -- enumeration ---------------------------------------------------------------
+
+    def enumerate_points(self) -> Iterator[tuple[int, ...]]:
+        """Yield every integer point in lexicographic order."""
+        if self._empty:
+            return
+        yield from self._enumerate_from(0, {}, [])
+
+    def _enumerate_from(
+        self, d: int, env: dict[str, int], prefix: list[int]
+    ) -> Iterator[tuple[int, ...]]:
+        if d == self._n:
+            yield tuple(prefix)
+            return
+        rng = self._tightened_range(d, env)
+        if rng is None:
+            return
+        lo, hi = rng
+        var = self.dims[d]
+        checks = self._anchored_checks(d, env)
+        for value in range(lo, hi + 1):
+            if all(
+                rl <= (cf * value + rest) % m <= rh
+                for cf, rest, m, rl, rh in checks
+            ):
+                env[var] = value
+                prefix.append(value)
+                yield from self._enumerate_from(d + 1, env, prefix)
+                prefix.pop()
+        env.pop(var, None)
+
+    # -- representative search ----------------------------------------------------
+
+    def representative(
+        self, budget: int = REPRESENTATIVE_BUDGET
+    ) -> Optional[tuple[int, ...]]:
+        """One point of the region, or ``None`` if empty or over budget.
+
+        Count-guided lexmin descent: at each dimension the first value whose
+        subtree is non-empty is fixed.  Subtree probes share the counting
+        memo, so a successful search after a :meth:`count` call costs almost
+        nothing extra.  ``budget`` caps the total number of candidate-value
+        probes — exhaustion returns ``None`` and the caller falls back to
+        enumeration, so the search can never silently degrade to a scan of
+        the loop bounds.
+        """
+        if self._empty or self.count() == 0:
+            return None
+        env: dict[str, int] = {}
+        point: list[int] = []
+        for d in range(self._n):
+            rng = self._tightened_range(d, env)
+            if rng is None:
+                return None  # unreachable after the count() > 0 check
+            lo, hi = rng
+            var = self.dims[d]
+            checks = self._anchored_checks(d, env)
+            found = False
+            for value in range(lo, hi + 1):
+                budget -= 1
+                if budget < 0:
+                    return None
+                if not all(
+                    rl <= (cf * value + rest) % m <= rh
+                    for cf, rest, m, rl, rh in checks
+                ):
+                    continue
+                env[var] = value
+                if self._count_from(d + 1, env) > 0:
+                    point.append(value)
+                    found = True
+                    break
+            if not found:
+                return None
+        return tuple(point)
+
+    def __repr__(self) -> str:
+        parts = [
+            f"{lo} <= {v} <= {hi}"
+            for v, (lo, hi) in zip(self.dims, self.bounds)
+        ]
+        parts.extend(map(repr, self.constraints))
+        parts.extend(map(repr, self.residues))
+        return "RegionSpace(" + ", ".join(parts) + ")"
+
+
+def negate_constraint(c: Constraint) -> list[Constraint]:
+    """The complement of one affine constraint over integer points.
+
+    ``expr >= 0`` negates to the single constraint ``expr <= -1``;
+    ``expr == 0`` negates to the *disjunction* ``expr >= 1 | expr <= -1``,
+    returned as a list — the regional decomposition turns each disjunct
+    into its own cell (sequential set difference keeps cells disjoint).
+    """
+    if c.kind == EQ:
+        return [
+            Constraint.inequality(c.expr - 1),
+            Constraint.inequality(-c.expr - 1),
+        ]
+    return [Constraint.inequality(-c.expr - 1)]
+
+
+def region_of_space(space) -> RegionSpace:
+    """The :class:`RegionSpace` form of a ``BoundedSpace`` (same points)."""
+    guard = space.guard if isinstance(space.guard, ConstraintSet) else ConstraintSet(space.guard)
+    return RegionSpace(space.dims, space.bounds, tuple(guard), ())

@@ -20,12 +20,45 @@ The class provides the polyhedral operations the solvers of Fig. 6 need:
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping, Sequence
+from typing import Callable, Iterator, Mapping, Sequence
 
 import random
 
+from repro import obs
 from repro.polyhedra.affine import Affine
 from repro.polyhedra.constraints import Constraint, ConstraintSet
+
+#: Cross-instance count cache keyed by canonical constraint-system signature.
+#: Spaces are built afresh per reference (and per region cell in the regional
+#: solver), but structurally identical systems recur constantly — translated
+#: producer spaces, residue cells differing only in dead constraints, the
+#: same RIS rebuilt in a worker process.  Caching per *signature* rather
+#: than per instance means a count is ever computed once per process.
+_COUNT_CACHE: dict[tuple, int] = {}
+
+
+def cached_count(signature: tuple, compute: Callable[[], int]) -> int:
+    """Return the memoized count for ``signature``, computing on first use.
+
+    Hits are observable as ``polyhedra.count.cache_hits``.
+    """
+    cached = _COUNT_CACHE.get(signature)
+    if cached is not None:
+        obs.counter("polyhedra.count.cache_hits").inc()
+        return cached
+    value = compute()
+    _COUNT_CACHE[signature] = value
+    return value
+
+
+def count_cache_size() -> int:
+    """Number of cached constraint-system counts (for tests/diagnostics)."""
+    return len(_COUNT_CACHE)
+
+
+def clear_count_cache() -> None:
+    """Drop every cached count (tests, and long-lived service processes)."""
+    _COUNT_CACHE.clear()
 
 
 class BoundedSpace:
@@ -144,11 +177,27 @@ class BoundedSpace:
 
     # -- counting ----------------------------------------------------------------
 
+    def signature(self) -> tuple:
+        """A canonical, hashable signature of the constraint system.
+
+        Two spaces with equal signatures contain exactly the same points, so
+        counts may be shared across instances (:func:`cached_count`).  The
+        guard is a set — constraint order never affects the point set.
+        """
+        return ("space", self.dims, self.bounds, frozenset(self.guard))
+
     def count(self) -> int:
-        """The exact number of integer points in the space."""
+        """The exact number of integer points in the space.
+
+        Memoized per instance *and*, keyed by :meth:`signature`, across
+        instances (``polyhedra.count.cache_hits``) — repeated region counts
+        inside one solve never recompute structurally identical systems.
+        """
         if self.is_trivially_empty():
             return 0
-        return self._count_from(0, {})
+        return cached_count(
+            self.signature(), lambda: self._count_from(0, {})
+        )
 
     def _count_from(self, d: int, env: dict[str, int]) -> int:
         if d == self._n:

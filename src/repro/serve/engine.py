@@ -40,6 +40,7 @@ from repro.analysis import PreparedProgram, analyze, prepare
 from repro.cme.backend import make_classifier, resolve_backend
 from repro.cme.estimate import estimate_ref_misses
 from repro.cme.find import find_ref_misses
+from repro.cme.regions import region_ref_misses
 from repro.cme.result import MissReport
 from repro.errors import FrontendError, ReproError
 from repro.ir.nodes import Program
@@ -321,7 +322,10 @@ class AnalysisEngine:
             solve_list = targets
         store_hits_before = self.memo.store_hits if self.memo else 0
         self._check_deadline(deadline)
-        name = "FindMisses" if method == "find" else "EstimateMisses"
+        name = {
+            "find": "FindMisses",
+            "regions": "RegionMisses",
+        }.get(method, "EstimateMisses")
         report = MissReport(name, state.cache)
         futures = [
             pool.submit(self._solve_unit, state, ref, request)
@@ -364,6 +368,10 @@ class AnalysisEngine:
         with state.lock:
             if request.method == "find":
                 return find_ref_misses(state.classifier, state.prepared.nprog, ref)
+            if request.method == "regions":
+                return region_ref_misses(
+                    state.classifier, state.prepared.nprog, ref
+                )
             return estimate_ref_misses(
                 state.classifier,
                 state.prepared.nprog,

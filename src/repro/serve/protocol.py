@@ -48,8 +48,8 @@ from repro.layout.cache import CacheConfig
 #: Wire schema version; bump on any change to request/response layouts.
 SERVE_SCHEMA = "repro.serve/v1"
 
-#: The two CME solvers a request may select.
-METHODS = ("estimate", "find")
+#: The CME solvers a request may select.
+METHODS = ("estimate", "find", "regions")
 
 #: Accepted classification backend names (``None``/"auto" = resolve).
 BACKEND_NAMES = (None, "auto", "scalar", "numpy")

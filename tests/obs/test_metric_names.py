@@ -2,8 +2,8 @@
 
 The golden lists below enumerate every counter, gauge and histogram a
 fully exercised pipeline run produces — cold + warm memoized FindMisses
-(serial and ``jobs=2``), EstimateMisses, and both simulator backends on
-one pinned workload.  The exporter treats names as opaque keys, so the
+(serial and ``jobs=2``), EstimateMisses, RegionMisses, and both simulator
+backends on one pinned workload.  The exporter treats names as opaque keys, so the
 *schema* never changes when metrics are added — but dashboards, the run
 ledger and the regression checker key on the names themselves.  Renaming
 or dropping one is a breaking change; this test makes it a deliberate one
@@ -24,6 +24,10 @@ GOLDEN_COUNTERS = {
     "cme.points.hit",
     "cme.points.replacement",
     "cme.refs.analysed",
+    "cme.regions.exact_regions",
+    "cme.regions.fallback_cells",
+    "cme.regions.fallback_points",
+    "cme.regions.fallback_regions",
     "cme.sampling.draws",
     "cme.sampling.fallbacks",
     "cme.solver.vector_trials",
@@ -34,6 +38,7 @@ GOLDEN_COUNTERS = {
     "memo.store.hits",
     "memo.store.loaded",
     "parallel.chunks",
+    "polyhedra.count.cache_hits",
     "polyhedra.intsolve.calls",
     "polyhedra.intsolve.solutions",
     "polyhedra.nullspace.calls",
@@ -85,6 +90,7 @@ def pipeline_snapshot(tmp_path_factory):
         with Memoizer.open(store) as memo:
             analyze(prepared, cache, method="find", memo=memo)
         analyze(prepared, cache, method="estimate", seed=0)
+        analyze(prepared, cache, method="regions")
         run_simulation(prepared, cache, backend="scalar")
         run_simulation(prepared, cache, backend="numpy")
         return obs.snapshot()

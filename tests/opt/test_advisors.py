@@ -83,3 +83,49 @@ class TestTiling:
             cache,
         )
         assert best.tile == choices[0].tile
+
+
+class TestMethodSelection:
+    """The advisors' inner-solver choice (``choose_method``)."""
+
+    def test_fully_covered_kernel_selects_regions(self):
+        from repro import obs
+        from repro.opt import choose_method
+
+        prepared = prepare(conflict_copy(128))
+        cache = CacheConfig.kb(1, 32, 1)
+        obs.enable()
+        obs.reset()
+        try:
+            method = choose_method(prepared, cache)
+            assert method == "regions"
+            assert obs.counter("opt.method.regions").value == 1
+        finally:
+            obs.disable()
+
+    def test_partially_covered_kernel_selects_estimate(self):
+        from repro import obs
+        from repro.opt import choose_method
+
+        # MMT's transposed references defeat the closed-form certificates,
+        # so a bound-scaling regions fallback would make sweeps expensive.
+        prepared = prepare(build_mmt(16, 16, 8))
+        cache = CacheConfig.kb(1, 32, 1)
+        obs.enable()
+        obs.reset()
+        try:
+            method = choose_method(prepared, cache)
+            assert method == "estimate"
+            assert obs.counter("opt.method.estimate").value == 1
+        finally:
+            obs.disable()
+
+    def test_padding_defaults_to_chosen_method(self):
+        # method=None routes each evaluation through choose_method; on the
+        # fully covered copy kernel that means the exact regional solver,
+        # so the default choice must equal an explicit method="find" score.
+        program = conflict_copy(128)
+        cache = CacheConfig.kb(1, 32, 1)
+        auto = evaluate_padding(program, cache, 32)
+        exact = evaluate_padding(program, cache, 32, method="find")
+        assert auto.miss_ratio_percent == exact.miss_ratio_percent

@@ -176,7 +176,7 @@ def test_concurrent_mixed_clients_all_bit_identical(server):
         ("hydro", 14, "find", "4:32:2"),
         ("mgrid", 8, "find", "4:32:2"),
         ("mmt", 12, "estimate", "2:32:1"),
-        ("hydro", 14, "estimate", "4:32:4"),
+        ("hydro", 14, "regions", "4:32:4"),
     ] * 2
     results: dict[int, dict] = {}
     errors: list[Exception] = []
